@@ -1,0 +1,92 @@
+"""A1 (ablation) — the ANYK-PART successor-strategy design space.
+
+The five strategies trade bucket-preparation cost against per-deviation
+cost: Eager pays b·log b per touched bucket upfront; Lazy/Quick pay per
+rank requested; Take2 pays O(b) heapify and O(1) per pop; All pays nothing
+upfront but floods the global queue.  The regime that separates them is
+bucket size × how much of each bucket enumeration actually visits — this
+ablation sweeps that regime via the join-key domain (small domain = few,
+huge buckets) at fixed k.
+
+Series: per domain size, heap operations and comparisons of each strategy
+to the first k results.
+"""
+
+from repro.anyk.api import rank_enumerate
+from repro.data.generators import path_database
+from repro.query.cq import path_query
+from repro.util.counters import Counters
+
+from common import print_table
+
+SIZE, LENGTH, K = 600, 3, 200
+DOMAINS = (2, 8, 64, 512)
+STRATEGIES = ("part:eager", "part:lazy", "part:quick", "part:take2", "part:all")
+
+
+def _series():
+    query = path_query(LENGTH)
+    rows = []
+    per_domain = {}
+    for domain in DOMAINS:
+        db = path_database(LENGTH, SIZE, domain, seed=73)
+        work = {}
+        for method in STRATEGIES:
+            counters = Counters()
+            produced = 0
+            for produced, _ in enumerate(
+                rank_enumerate(db, query, method=method, counters=counters),
+                start=1,
+            ):
+                if produced == K:
+                    break
+            work[method] = (
+                counters.heap_ops,
+                counters.comparisons,
+                counters.total_work(),
+            )
+        rows.append(
+            (domain,)
+            + tuple(work[m][0] for m in STRATEGIES)
+            + tuple(work[m][1] for m in STRATEGIES)
+        )
+        per_domain[domain] = work
+    return rows, per_domain
+
+
+def bench_a1_successor_strategies(benchmark):
+    rows, per_domain = _series()
+    heads = [m.split(":")[1] for m in STRATEGIES]
+    print_table(
+        f"A1: PART successor strategies to k={K} (path ℓ={LENGTH}, n={SIZE}; "
+        "bucket size shrinks as domain grows)",
+        ["domain"]
+        + [f"heap {h}" for h in heads]
+        + [f"cmp {h}" for h in heads],
+        rows,
+    )
+    # Shape 1: with huge buckets (domain 2), the eager upfront sort pays
+    # far more comparisons than lazy evaluation.
+    huge = per_domain[DOMAINS[0]]
+    assert huge["part:eager"][1] > 3 * huge["part:lazy"][1]
+    # Shape 2: with big buckets, All floods the global queue relative to
+    # Take2; with tiny buckets All is competitive (no variant dominates —
+    # the companion paper's conclusion).
+    for domain in DOMAINS[:-1]:
+        work = per_domain[domain]
+        assert work["part:all"][0] >= work["part:take2"][0], domain
+    tiny = per_domain[DOMAINS[-1]]
+    assert tiny["part:all"][0] <= tiny["part:take2"][0]
+    # Shape 3: with tiny buckets every strategy's total work converges to
+    # within a small factor.
+    totals = [tiny[m][2] for m in STRATEGIES]
+    assert max(totals) < 4 * min(totals)
+
+    db = path_database(LENGTH, SIZE, DOMAINS[0], seed=73)
+    benchmark.pedantic(
+        lambda: list(
+            rank_enumerate(db, path_query(LENGTH), method="part:take2", k=K)
+        ),
+        rounds=3,
+        iterations=1,
+    )

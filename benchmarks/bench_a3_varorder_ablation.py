@@ -1,0 +1,77 @@
+"""A3 (ablation) — variable order in worst-case-optimal joins.
+
+WCO guarantees hold for *any* global variable order, but constants differ:
+orders that bind selective variables first shrink candidate sets earlier.
+This ablation runs Generic-Join and Leapfrog under every variable order of
+the triangle query on a skewed graph and reports the spread — the reason
+practical systems pair WCO algorithms with order heuristics.
+
+Series: per variable order, hash probes (Generic-Join) and comparisons
+(Leapfrog); plus the max/min spread.
+"""
+
+import itertools
+
+from repro.data.generators import random_graph_database
+from repro.joins.generic_join import evaluate as generic_join
+from repro.joins.leapfrog import evaluate as leapfrog_join
+from repro.query.cq import triangle_query
+from repro.util.counters import Counters
+
+from common import print_table
+
+EDGES, NODES = 900, 60
+
+
+def _series():
+    db = random_graph_database(EDGES, NODES, seed=83, weight_range=(0.0, 1.0))
+    query = triangle_query(("E", "E", "E"))
+    rows = []
+    gj_costs, lftj_costs = [], []
+    reference = None
+    for order in itertools.permutations(query.variables):
+        c_gj, c_lftj = Counters(), Counters()
+        out = generic_join(db, query, var_order=order, counters=c_gj)
+        leapfrog_join(db, query, var_order=order, counters=c_lftj)
+        if reference is None:
+            reference = len(out)
+        assert len(out) == reference  # same output under every order
+        rows.append(
+            (
+                "".join(order),
+                len(out),
+                c_gj.hash_probes,
+                c_gj.total_work(),
+                c_lftj.comparisons,
+                c_lftj.total_work(),
+            )
+        )
+        gj_costs.append(c_gj.total_work())
+        lftj_costs.append(c_lftj.total_work())
+    return rows, gj_costs, lftj_costs
+
+
+def bench_a3_variable_order(benchmark):
+    rows, gj_costs, lftj_costs = _series()
+    print_table(
+        f"A3: variable-order sweep for the triangle ({EDGES} edges)",
+        ["order", "output", "gj probes", "gj work", "lftj cmp", "lftj work"],
+        rows,
+    )
+    spread_gj = max(gj_costs) / min(gj_costs)
+    spread_lftj = max(lftj_costs) / min(lftj_costs)
+    print(
+        f"work spread across orders: generic-join x{spread_gj:.2f}, "
+        f"leapfrog x{spread_lftj:.2f} (same asymptotics, different constants)"
+    )
+    # Shape: all orders produce identical output (asserted above) and the
+    # spread stays a constant factor — no order breaks worst-case bounds.
+    assert spread_gj < 10
+    assert spread_lftj < 10
+
+    db = random_graph_database(EDGES, NODES, seed=83)
+    benchmark.pedantic(
+        lambda: generic_join(db, triangle_query(("E", "E", "E"))),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,69 @@
+"""E4 — Part 1 claims: TA is instance-optimal in the access-count model and
+never accesses more than FA (within a constant); both stop early when the
+lists agree and degrade when they anti-correlate.
+
+Series: accesses of FA vs TA per correlation regime and k.
+"""
+
+from repro.data.generators import scored_lists
+from repro.topk.access import VerticalSource
+from repro.topk.fagin import fagins_algorithm
+from repro.topk.threshold import threshold_algorithm
+from repro.util.counters import Counters
+
+from common import print_table
+
+OBJECTS = 3000
+LISTS = 3
+KS = (1, 10, 50)
+
+
+def _series():
+    rows = []
+    summary = {}
+    for correlation in ("correlated", "independent", "inverse"):
+        lists = scored_lists(OBJECTS, LISTS, correlation, seed=23)
+        for k in KS:
+            c_fa, c_ta = Counters(), Counters()
+            fagins_algorithm(VerticalSource(lists, c_fa), k)
+            threshold_algorithm(VerticalSource(lists, c_ta), k)
+            rows.append(
+                (
+                    correlation,
+                    k,
+                    c_fa.sorted_accesses,
+                    c_fa.random_accesses,
+                    c_ta.sorted_accesses,
+                    c_ta.random_accesses,
+                    round(c_fa.total_accesses() / max(1, c_ta.total_accesses()), 2),
+                )
+            )
+            summary[(correlation, k)] = (
+                c_fa.total_accesses(),
+                c_ta.total_accesses(),
+            )
+    return rows, summary
+
+
+def bench_e4_ta_vs_fa_accesses(benchmark):
+    rows, summary = _series()
+    print_table(
+        f"E4: FA vs TA accesses ({OBJECTS} objects x {LISTS} lists)",
+        ["lists", "k", "FA sorted", "FA random", "TA sorted", "TA random", "FA/TA"],
+        rows,
+    )
+    # Shapes: TA <= FA on total accesses in every regime; correlated is the
+    # cheap regime, inverse the expensive one (for both algorithms).
+    for key, (fa, ta) in summary.items():
+        assert ta <= fa * 1.05, key
+    assert summary[("correlated", 10)][1] < summary[("independent", 10)][1]
+    assert summary[("independent", 10)][1] < summary[("inverse", 10)][1]
+    # Early termination: far fewer accesses than the full 3 * OBJECTS scan.
+    assert summary[("correlated", 1)][1] < OBJECTS
+
+    lists = scored_lists(OBJECTS, LISTS, "independent", seed=23)
+    benchmark.pedantic(
+        lambda: threshold_algorithm(VerticalSource(lists), 10),
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,74 @@
+"""E5 — Part 1 claim: NRA avoids random accesses entirely at the price of
+deeper sorted access and per-round bookkeeping (RAM-model work) — the
+trade-off the tutorial uses to motivate analyzing top-k algorithms in the
+RAM model, where bookkeeping is not free.
+
+Series: per regime and k, NRA sorted accesses and RAM-model comparisons vs
+TA's two access kinds.
+"""
+
+from repro.data.generators import scored_lists
+from repro.topk.access import VerticalSource
+from repro.topk.ca import combined_algorithm
+from repro.topk.nra import nra
+from repro.topk.threshold import threshold_algorithm
+from repro.util.counters import Counters
+
+from common import print_table
+
+OBJECTS = 2000
+KS = (1, 10)
+CA_RATIO = 10
+
+
+def _series():
+    rows = []
+    summary = {}
+    for correlation in ("correlated", "independent", "inverse"):
+        lists = scored_lists(OBJECTS, 3, correlation, seed=29)
+        for k in KS:
+            c_ta, c_nra, c_ca = Counters(), Counters(), Counters()
+            threshold_algorithm(VerticalSource(lists, c_ta), k)
+            nra(VerticalSource(lists, c_nra), k)
+            combined_algorithm(VerticalSource(lists, c_ca), k, ratio=CA_RATIO)
+            rows.append(
+                (
+                    correlation,
+                    k,
+                    c_ta.sorted_accesses,
+                    c_ta.random_accesses,
+                    c_nra.sorted_accesses,
+                    c_nra.random_accesses,
+                    c_ca.sorted_accesses,
+                    c_ca.random_accesses,
+                )
+            )
+            summary[(correlation, k)] = (c_ta, c_nra, c_ca)
+    return rows, summary
+
+
+def bench_e5_nra_access_profile(benchmark):
+    rows, summary = _series()
+    print_table(
+        f"E5: TA vs NRA vs CA(ratio={CA_RATIO}) accesses "
+        f"({OBJECTS} objects x 3 lists)",
+        [
+            "lists", "k",
+            "TA sorted", "TA random",
+            "NRA sorted", "NRA random",
+            "CA sorted", "CA random",
+        ],
+        rows,
+    )
+    for (correlation, k), (c_ta, c_nra, c_ca) in summary.items():
+        # NRA's defining property: zero random accesses.
+        assert c_nra.random_accesses == 0, (correlation, k)
+        # The price: at least as many sorted accesses as TA needed.
+        assert c_nra.sorted_accesses >= c_ta.sorted_accesses, (correlation, k)
+        # CA interpolates: fewer random accesses than TA, some unlike NRA.
+        assert c_ca.random_accesses <= c_ta.random_accesses, (correlation, k)
+
+    lists = scored_lists(OBJECTS, 3, "independent", seed=29)
+    benchmark.pedantic(
+        lambda: nra(VerticalSource(lists), 10), rounds=3, iterations=1
+    )

@@ -1,0 +1,57 @@
+"""E6 — Part 1 claim: rank joins (HRJN family) win when the top results
+come from the top of the inputs, and must descend — paying accesses — when
+the constituent tuples of the winners sit deep ("how deep down the list
+they have to go").
+
+Series: sorted accesses to the top-1/top-5 result as a function of the
+planted winner depth, for HRJN (alternate) and HRJN* (corner bound).
+"""
+
+from repro.data.generators import rank_join_database
+from repro.query.cq import path_query
+from repro.topk.rank_join import rank_join_topk
+from repro.util.counters import Counters
+
+from common import print_table
+
+SIZE = 2000
+DEPTHS = (10, 50, 250, 1000)
+
+
+def _series():
+    query = path_query(2)
+    rows = []
+    depth_costs = {}
+    for depth in DEPTHS:
+        db = rank_join_database(SIZE, depth, seed=31)
+        entry = [depth]
+        for strategy in ("alternate", "corner"):
+            for k in (1, 5):
+                c = Counters()
+                got = rank_join_topk(db, query, k=k, counters=c, strategy=strategy)
+                assert got, (depth, strategy, k)
+                entry.append(c.sorted_accesses)
+        rows.append(tuple(entry))
+        depth_costs[depth] = entry[1]  # alternate, k=1
+    return rows, depth_costs
+
+
+def bench_e6_rank_join_depth(benchmark):
+    rows, depth_costs = _series()
+    print_table(
+        f"E6: rank join sorted accesses vs winner depth (|R|=|S|={SIZE})",
+        ["depth", "HRJN k=1", "HRJN k=5", "HRJN* k=1", "HRJN* k=5"],
+        rows,
+    )
+    # Shape: accesses grow monotonically (and roughly linearly) with depth.
+    assert depth_costs[50] > depth_costs[10]
+    assert depth_costs[250] > depth_costs[50]
+    assert depth_costs[1000] > depth_costs[250]
+    assert depth_costs[1000] > 10 * depth_costs[10]
+    # Early termination at shallow depth: a small fraction of the input.
+    assert depth_costs[10] < SIZE // 4
+
+    db = rank_join_database(SIZE, 250, seed=31)
+    benchmark.pedantic(
+        lambda: rank_join_topk(db, path_query(2), k=5), rounds=3, iterations=1
+    )

@@ -1,0 +1,72 @@
+"""E8 — §4 claims: any-k algorithms return the first ranked results far
+before the batch baseline (TTF ≈ preprocessing ≪ full join + sort) while
+remaining competitive for the full output (TTL), with near-constant delay.
+
+Series: work to first result (TTF), to k=1000 (TTK) and to last (TTL) for
+ANYK-PART(lazy), ANYK-REC and batch, over path length ℓ and input size n.
+"""
+
+from repro.anyk.api import rank_enumerate
+from repro.data.generators import path_database
+from repro.query.cq import path_query
+from repro.util.counters import Counters
+
+from common import print_table
+
+CONFIGS = [(2, 500), (3, 300), (4, 150), (4, 300)]  # (length, n)
+K_MID = 1000
+METHODS = ("part:lazy", "rec", "batch")
+
+
+def _measure(db, query, method):
+    counters = Counters()
+    stream = rank_enumerate(db, query, method=method, counters=counters)
+    ttf = ttk = None
+    count = 0
+    for count, _ in enumerate(stream, start=1):
+        if count == 1:
+            ttf = counters.total_work()
+        if count == K_MID:
+            ttk = counters.total_work()
+    return ttf or 0, ttk or counters.total_work(), counters.total_work(), count
+
+
+def _series():
+    rows = []
+    stats = {}
+    for length, n in CONFIGS:
+        db = path_database(length, n, max(4, n // 12), seed=41)
+        query = path_query(length)
+        for method in METHODS:
+            ttf, ttk, ttl, results = _measure(db, query, method)
+            rows.append((length, n, method, results, ttf, ttk, ttl))
+            stats[(length, n, method)] = (ttf, ttk, ttl, results)
+    return rows, stats
+
+
+def bench_e8_anyk_vs_batch_on_paths(benchmark):
+    rows, stats = _series()
+    print_table(
+        f"E8: any-k vs batch on path queries (work to first / k={K_MID} / last)",
+        ["len", "n", "method", "results", "TTF", f"TT({K_MID})", "TTL"],
+        rows,
+    )
+    for length, n in CONFIGS:
+        batch_ttf = stats[(length, n, "batch")][0]
+        for method in ("part:lazy", "rec"):
+            ttf, _, ttl, results = stats[(length, n, method)]
+            if results < 2:
+                continue
+            # TTF: any-k must not pay the full join+sort.
+            assert ttf < batch_ttf, (length, n, method)
+            # TTL: within a moderate constant of batch.
+            batch_ttl = stats[(length, n, "batch")][2]
+            assert ttl < 40 * batch_ttl, (length, n, method)
+    print("shape: any-k TTF < batch TTF everywhere; TTL within constant factor")
+
+    db = path_database(4, 300, 25, seed=41)
+    benchmark.pedantic(
+        lambda: next(iter(rank_enumerate(db, path_query(4), method="part:lazy"))),
+        rounds=3,
+        iterations=1,
+    )

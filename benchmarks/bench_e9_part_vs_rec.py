@@ -1,0 +1,79 @@
+"""E9 — §4 claim: neither Lawler–Murty (ANYK-PART) nor recursive
+enumeration (ANYK-REC) dominates the other: PART tends to win for small k,
+REC amortizes suffix sharing and catches up (or wins) toward the full
+output.
+
+Series: per method (all PART strategies + REC), work to k ∈ {1, 10%, 100%}
+of the output on a path query with heavy suffix sharing (small domain).
+"""
+
+from repro.anyk.api import METHODS, rank_enumerate
+from repro.anyk.ranking import SUM
+from repro.data.generators import path_database
+from repro.query.cq import path_query
+from repro.util.counters import Counters
+
+from common import print_table
+
+ANYTIME_METHODS = [m for m in METHODS if m.startswith("part:")] + ["rec"]
+LENGTH, SIZE, DOMAIN = 4, 250, 12  # small domain => shared suffixes
+
+
+def _series():
+    db = path_database(LENGTH, SIZE, DOMAIN, seed=43)
+    query = path_query(LENGTH)
+    total = sum(1 for _ in rank_enumerate(db, query, method="batch"))
+    checkpoints = [1, max(2, total // 10), total]
+    rows = []
+    work = {}
+    for method in ANYTIME_METHODS:
+        counters = Counters()
+        stream = rank_enumerate(db, query, method=method, counters=counters)
+        marks = {}
+        for count, _ in enumerate(stream, start=1):
+            if count in (checkpoints[0], checkpoints[1]):
+                marks[count] = counters.total_work()
+        marks[total] = counters.total_work()
+        rows.append(
+            (method, total, marks[checkpoints[0]], marks[checkpoints[1]], marks[total])
+        )
+        work[method] = marks
+    return rows, work, checkpoints, total
+
+
+def bench_e9_part_variants_vs_rec(benchmark):
+    rows, work, checkpoints, total = _series()
+    print_table(
+        f"E9: PART strategies vs REC on a shared-suffix path query "
+        f"(ℓ={LENGTH}, n={SIZE}, |output|={total})",
+        ["method", "results", "TTF", f"TT({checkpoints[1]})", "TTL"],
+        rows,
+    )
+    # Shape: "neither dominates" — some PART variant beats REC early, and
+    # REC overtakes part of the PART family by the later checkpoints
+    # (its memoized suffixes amortize).
+    rec = work["rec"]
+    part_variants = [m for m in ANYTIME_METHODS if m.startswith("part:")]
+    best_part_first = min(work[m][checkpoints[0]] for m in part_variants)
+    assert best_part_first <= rec[checkpoints[0]], "PART must win early"
+    beaten_late = [
+        m
+        for m in part_variants
+        if rec[checkpoints[1]] < work[m][checkpoints[1]]
+        or rec[total] < work[m][total]
+    ]
+    print(
+        f"REC work: k=1 {rec[checkpoints[0]]}, mid {rec[checkpoints[1]]}, "
+        f"all {rec[total]}; overtakes PART variants {beaten_late} late"
+    )
+    assert beaten_late, "REC must overtake some PART variant for large k"
+    # And the whole family stays within a small factor at the end.
+    ttl = {m: work[m][total] for m in ANYTIME_METHODS}
+    assert max(ttl.values()) < 6 * min(ttl.values())
+
+    db = path_database(LENGTH, SIZE, DOMAIN, seed=43)
+    benchmark.pedantic(
+        lambda: list(rank_enumerate(db, path_query(LENGTH), method="rec", k=50)),
+        rounds=3,
+        iterations=1,
+    )

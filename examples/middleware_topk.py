@@ -1,0 +1,54 @@
+"""Tour of Part 1: the TA middleware model on a concrete scenario.
+
+Restaurants are scored by three external services (food, ambience, price);
+each service exposes its own descending-score list (the vertically
+partitioned table of the TA setting).  We find the top 5 by aggregate score
+with Fagin's Algorithm, the Threshold Algorithm, and NRA, and report the
+access-model cost of each — then show how correlation between the lists
+changes who pays what (the regimes of experiment E4).
+
+Run:  python examples/middleware_topk.py
+"""
+
+from repro import Counters
+from repro.data.generators import scored_lists
+from repro.topk.access import VerticalSource
+from repro.topk.fagin import fagins_algorithm
+from repro.topk.nra import nra
+from repro.topk.threshold import threshold_algorithm
+
+ALGORITHMS = (
+    ("Fagin's Algorithm (FA)", fagins_algorithm),
+    ("Threshold Algorithm (TA)", threshold_algorithm),
+    ("No Random Access (NRA)", nra),
+)
+
+
+def run_regime(correlation: str) -> None:
+    lists = scored_lists(
+        num_objects=2000, num_lists=3, correlation=correlation, seed=13
+    )
+    print(f"\n== {correlation} lists (2000 restaurants x 3 services) ==")
+    print(f"{'algorithm':>26} | {'sorted':>7} | {'random':>7} | top-1")
+    for name, algorithm in ALGORITHMS:
+        counters = Counters()
+        source = VerticalSource(lists, counters)
+        result = algorithm(source, 5)
+        best_obj, best_score = result[0]
+        print(
+            f"{name:>26} | {counters.sorted_accesses:>7} | "
+            f"{counters.random_accesses:>7} | {best_obj} ({best_score:.3f})"
+        )
+
+
+def main() -> None:
+    print(
+        "TA's instance optimality lives in this access-count model; the\n"
+        "same runs also accumulate RAM-model counters (see quickstart)."
+    )
+    for correlation in ("correlated", "independent", "inverse"):
+        run_regime(correlation)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""repro — "Optimal Join Algorithms Meet Top-k" (SIGMOD 2020), reproduced.
+
+A self-contained Python library implementing the three parts of the
+tutorial by Tziavelis, Gatterbauer and Riedewald:
+
+1. **Top-k algorithms** (:mod:`repro.topk`): Fagin's Algorithm, the
+   Threshold Algorithm, NRA, and HRJN-style rank joins, with explicit
+   access-model *and* RAM-model cost accounting.
+2. **(Worst-case) optimal joins** (:mod:`repro.joins`,
+   :mod:`repro.query`): binary plans, Yannakakis, Generic-Join, Leapfrog
+   Triejoin, the AGM bound, hypertree decompositions, and the heavy/light
+   union-of-trees behind the O~(n^1.5) 4-cycle results.
+3. **Ranked enumeration / any-k** (:mod:`repro.anyk`): ANYK-PART
+   (Lawler–Murty, five successor strategies), ANYK-REC (recursive
+   enumeration), batch and naive-Lawler baselines, over acyclic and
+   cyclic queries and multiple ranking functions.
+
+Quickstart::
+
+    from repro import rank_enumerate, cycle_query
+    from repro.data.generators import random_graph_database
+
+    db = random_graph_database(num_edges=2000, num_nodes=300, seed=1)
+    for row, weight in rank_enumerate(db, cycle_query(4), k=10):
+        print(weight, row)          # the 10 lightest 4-cycles
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+reproduced claims.
+"""
+
+from repro.anyk import LEX, MAX, METHODS, PRODUCT, SUM, RankingFunction, rank_enumerate
+from repro.anyk.api import top_k
+from repro.data import Database, Relation
+from repro.query import (
+    Atom,
+    ConjunctiveQuery,
+    cycle_query,
+    path_query,
+    star_query,
+    triangle_query,
+)
+from repro.util.counters import Counters
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Relation",
+    "Atom",
+    "ConjunctiveQuery",
+    "path_query",
+    "star_query",
+    "triangle_query",
+    "cycle_query",
+    "rank_enumerate",
+    "top_k",
+    "RankingFunction",
+    "SUM",
+    "MAX",
+    "PRODUCT",
+    "LEX",
+    "METHODS",
+    "Counters",
+]

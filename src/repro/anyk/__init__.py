@@ -1,0 +1,40 @@
+"""Ranked enumeration over joins — "any-k" algorithms (tutorial Part 3).
+
+An any-k ("anytime top-k") algorithm returns join results one by one in
+ranking order, minimizing the time to the k-th result for *every* k without
+knowing k in advance.  The implementation follows the companion VLDB 2020
+paper the tutorial presents: any-k algorithms are extensions of non-serial
+dynamic programming over the query's join tree.
+
+Modules:
+
+- :mod:`repro.anyk.ranking` — ranking functions as selective dioids (sum,
+  max/bottleneck, product, lexicographic);
+- :mod:`repro.anyk.tdp` — the tree-based dynamic program (T-DP): stages,
+  buckets keyed by parent join values, bottom-up optimal subtree weights;
+- :mod:`repro.anyk.part` — ANYK-PART, the Lawler–Murty prefix-deviation
+  scheme with pluggable bucket successor strategies (Eager, Lazy, All,
+  Take2, Quick) and a from-scratch "naive Lawler" baseline with
+  polynomial delay;
+- :mod:`repro.anyk.rec` — ANYK-REC, recursive enumeration à la
+  Jiménez–Marzal / Hoffman–Pavley k-shortest paths, with memoized
+  per-bucket solution streams;
+- :mod:`repro.anyk.batch` — the batch baseline (full join, then sort);
+- :mod:`repro.anyk.cyclic` — ranked enumeration for cyclic queries via
+  disjoint union-of-trees decompositions with a global merge heap;
+- :mod:`repro.anyk.api` — the :func:`~repro.anyk.api.rank_enumerate`
+  façade dispatching on query shape and method name.
+"""
+
+from repro.anyk.api import METHODS, rank_enumerate
+from repro.anyk.ranking import LEX, MAX, PRODUCT, SUM, RankingFunction
+
+__all__ = [
+    "rank_enumerate",
+    "METHODS",
+    "RankingFunction",
+    "SUM",
+    "MAX",
+    "PRODUCT",
+    "LEX",
+]

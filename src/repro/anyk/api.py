@@ -1,0 +1,126 @@
+"""Public façade: ranked enumeration for any full conjunctive query.
+
+:func:`rank_enumerate` picks the pipeline by query shape:
+
+- acyclic  → full reducer + T-DP + the chosen any-k algorithm;
+- 4-cycle  → heavy/light union of trees, one T-DP per tree, global merge;
+- other cyclic → single GHD rewrite, then the acyclic pipeline.
+
+Methods (the ``method`` argument, also listed in :data:`METHODS`):
+
+``part:eager | part:lazy | part:quick | part:take2 | part:all``
+    ANYK-PART with the respective bucket successor strategy.
+``rec``
+    ANYK-REC (recursive enumeration with memoized streams).
+``batch``
+    Full join then sort (baseline; not anytime).
+``lawler``
+    Naive Lawler–Murty with from-scratch subproblem solving (polynomial
+    delay; the strawman of experiment E10).  Acyclic queries only.
+
+Example
+-------
+>>> from repro.data.generators import path_database
+>>> from repro.query.cq import path_query
+>>> from repro.anyk import rank_enumerate
+>>> db = path_database(length=3, size=50, domain=10, seed=7)
+>>> for row, weight in rank_enumerate(db, path_query(3), k=3):
+...     print(weight, row)      # three lightest 3-paths   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Optional
+
+from repro.anyk.batch import batch_enumerate
+from repro.anyk.cyclic import (
+    is_fourcycle,
+    rank_enumerate_fourcycle,
+    rank_enumerate_ghd,
+)
+from repro.anyk.part import STRATEGIES, anyk_part, naive_lawler
+from repro.anyk.ranking import RankingFunction, SUM
+from repro.anyk.rec import anyk_rec
+from repro.anyk.tdp import TDP
+from repro.data.database import Database
+from repro.query.cq import ConjunctiveQuery, QueryError
+from repro.query.hypergraph import gyo_reduction
+from repro.util.counters import Counters
+
+#: All anytime-capable methods accepted by :func:`rank_enumerate`.
+METHODS: tuple[str, ...] = tuple(
+    f"part:{name}" for name in sorted(STRATEGIES)
+) + ("rec", "batch", "lawler")
+
+
+def _enumerator_factory(method: str):
+    """Map a method name to a TDP -> iterator factory."""
+    if method.startswith("part:"):
+        strategy = method.split(":", 1)[1]
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown PART strategy {strategy!r}; known: {sorted(STRATEGIES)}"
+            )
+        return lambda tdp: anyk_part(tdp, strategy=strategy)
+    if method == "rec":
+        return anyk_rec
+    if method == "lawler":
+        return naive_lawler
+    raise ValueError(f"unknown any-k method {method!r}; known: {METHODS}")
+
+
+def rank_enumerate(
+    db: Database,
+    query: ConjunctiveQuery,
+    ranking: RankingFunction = SUM,
+    method: str = "part:lazy",
+    k: Optional[int] = None,
+    counters: Optional[Counters] = None,
+) -> Iterator[tuple[tuple, Any]]:
+    """Enumerate query answers in nondecreasing ranking order.
+
+    Yields ``(row, weight)`` pairs; ``row`` follows ``query.variables``,
+    ``weight`` lives in the ranking function's carrier (a float for SUM /
+    MAX / PRODUCT).  ``k`` truncates the stream; omitted, the stream runs
+    to exhaustion (the "any-k" contract: callers stop whenever satisfied).
+    """
+    query.validate(db)
+    if k is not None and k < 1:
+        raise ValueError("k must be >= 1 when given")
+
+    if method == "batch":
+        stream = batch_enumerate(db, query, ranking=ranking, counters=counters)
+        return stream if k is None else itertools.islice(stream, k)
+
+    tree = gyo_reduction(query)
+    if tree is not None:
+        tdp = TDP(db, query, ranking=ranking, tree=tree, counters=counters)
+        stream = _enumerator_factory(method)(tdp)
+    elif method == "lawler":
+        raise QueryError("the naive-Lawler baseline supports acyclic queries only")
+    elif is_fourcycle(query):
+        stream = rank_enumerate_fourcycle(
+            db, query, ranking, _enumerator_factory(method), counters=counters
+        )
+    else:
+        stream = rank_enumerate_ghd(
+            db, query, ranking, _enumerator_factory(method), counters=counters
+        )
+    return stream if k is None else itertools.islice(stream, k)
+
+
+def top_k(
+    db: Database,
+    query: ConjunctiveQuery,
+    k: int,
+    ranking: RankingFunction = SUM,
+    method: str = "part:lazy",
+    counters: Optional[Counters] = None,
+) -> list[tuple[tuple, Any]]:
+    """The k lightest answers as a list (convenience wrapper)."""
+    return list(
+        rank_enumerate(
+            db, query, ranking=ranking, method=method, k=k, counters=counters
+        )
+    )

@@ -1,0 +1,52 @@
+"""Batch baseline: materialize the full join, sort, then emit (Part 3).
+
+The natural competitor of any-k algorithms: compute all r results with a
+(worst-case-)optimal join algorithm, sort them by the ranking function, and
+return them one by one.  Its time-to-first-result equals the full join plus
+an O(r log r) sort — the gap any-k algorithms close — while its time-to-last
+is hard to beat, which is exactly the trade-off experiment E8/E9 charts.
+
+Only float-carrier rankings are supported (the join engines pre-combine
+weights tuple-by-tuple); LEX needs the per-stage weight vector that only
+the T-DP retains.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.anyk.ranking import RankingFunction, SUM
+from repro.data.database import Database
+from repro.joins.generic_join import evaluate as generic_join
+from repro.joins.yannakakis import evaluate as yannakakis_join
+from repro.query.cq import ConjunctiveQuery
+from repro.query.hypergraph import gyo_reduction
+from repro.util.counters import Counters
+
+
+def batch_enumerate(
+    db: Database,
+    query: ConjunctiveQuery,
+    ranking: RankingFunction = SUM,
+    counters: Optional[Counters] = None,
+) -> Iterator[tuple[tuple, Any]]:
+    """Full join (Yannakakis if acyclic, else Generic-Join), then sort.
+
+    Yields ``(row, lifted_weight)`` in nondecreasing ranking order, with
+    ties broken by row for determinism.
+    """
+    combine = ranking.float_combine()  # raises for LEX, by design
+    tree = gyo_reduction(query)
+    if tree is not None:
+        result = yannakakis_join(db, query, counters=counters, combine=combine, tree=tree)
+    else:
+        result = generic_join(db, query, counters=counters, combine=combine)
+    lift = ranking.lift
+    ranked = sorted(
+        ((lift(weight), row) for row, weight in zip(result.rows, result.weights)),
+        key=lambda pair: (pair[0], repr(pair[1])),
+    )
+    if counters is not None:
+        counters.comparisons += max(0, len(ranked) - 1)
+    for weight, row in ranked:
+        yield row, weight

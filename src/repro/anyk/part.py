@@ -1,0 +1,350 @@
+"""ANYK-PART: Lawler–Murty ranked enumeration over the T-DP (Part 3).
+
+The Lawler–Murty procedure partitions the solution space by *prefix
+deviations*: when the best solution S of a subspace is emitted, the
+remainder of the subspace is split, per position j, into the solutions that
+agree with S before j and deviate at j.  Exploiting the T-DP structure, the
+best solution of each piece is known *exactly* without solving anything
+from scratch — prefix weight plus frontier bucket minima
+(:meth:`repro.anyk.tdp.TDP.prefix_priority`) — which is what brings the
+delay from polynomial (naive Lawler, also provided here as
+:class:`NaiveLawler` for experiment E10) down to O(log k).
+
+The variants of the companion paper differ only in how the *successor* of a
+tuple inside a bucket (ordered by subtree weight) is found:
+
+========  ==================================================================
+Eager     every touched bucket is fully sorted on first use
+Lazy      incremental heap-sort per bucket (pay O(log b) per rank needed)
+Quick     incremental quickselect per bucket
+Take2     bucket heapified once; "successors" are the ≤ 2 heap children,
+          so every pop inserts O(1) candidates
+All       no order at all: deviating into a bucket inserts *all* its
+          alternatives at once
+========  ==================================================================
+
+Each candidate subspace is encoded as ``(choices, anchor)``: ``choices``
+fixes tuples for stages ``0..L-1``; the last choice is constrained to rank
+≥ its own (per strategy); earlier choices are exact.  Popping a candidate
+emits its best solution and spawns one horizontal successor (next rank at
+stage L-1) plus one vertical deviation per later stage — exactly Lawler's
+partition, so every solution is enumerated exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.anyk.tdp import TDP, Bucket
+from repro.util.heaps import (
+    BinaryHeap,
+    IncrementalQuickSelect,
+    LazySortedList,
+    TournamentBucket,
+)
+
+
+class SuccessorStrategy:
+    """How ANYK-PART walks a bucket in nondecreasing subtree-weight order.
+
+    ``anchor`` values are strategy-specific handles (sorted rank, heap
+    position, …).  ``first`` returns the bucket's best element's anchor;
+    ``successors(bucket, anchor)`` returns the anchors whose subspaces
+    partition "strictly after ``anchor``" within the bucket;
+    ``deviations(bucket)`` returns the anchors partitioning "everything but
+    the best".  ``tuple_at`` / ``weight_at`` resolve an anchor.
+    """
+
+    name = "abstract"
+
+    def __init__(self, counters=None) -> None:
+        self.counters = counters
+
+    def prepare(self, bucket: Bucket) -> None:
+        raise NotImplementedError
+
+    def first(self, bucket: Bucket) -> Any:
+        raise NotImplementedError
+
+    def initial_anchors(self, bucket: Bucket) -> list:
+        """Anchors that together cover the whole bucket at start-up.
+
+        A single ``first`` anchor suffices when horizontal successors chain
+        through the bucket; the All strategy has no successors and seeds
+        every element instead.
+        """
+        return [self.first(bucket)]
+
+    def successors(self, bucket: Bucket, anchor: Any) -> list:
+        raise NotImplementedError
+
+    def deviations(self, bucket: Bucket) -> list:
+        raise NotImplementedError
+
+    def tuple_at(self, bucket: Bucket, anchor: Any) -> int:
+        raise NotImplementedError
+
+
+class _RankedStrategy(SuccessorStrategy):
+    """Shared logic for strategies whose anchor is a sorted rank."""
+
+    def _entry(self, bucket: Bucket, rank: int) -> Optional[int]:
+        """Position (into bucket arrays) of the rank-th smallest, or None."""
+        raise NotImplementedError
+
+    def first(self, bucket: Bucket) -> int:
+        return 0
+
+    def successors(self, bucket: Bucket, anchor: int) -> list[int]:
+        if anchor + 1 < len(bucket):
+            return [anchor + 1]
+        return []
+
+    def deviations(self, bucket: Bucket) -> list[int]:
+        if len(bucket) > 1:
+            return [1]
+        return []
+
+    def tuple_at(self, bucket: Bucket, anchor: int) -> int:
+        position = self._entry(bucket, anchor)
+        assert position is not None
+        return bucket.tuple_ids[position]
+
+
+class EagerStrategy(_RankedStrategy):
+    """Sort each bucket completely on first touch."""
+
+    name = "eager"
+
+    def prepare(self, bucket: Bucket) -> None:
+        if bucket.structure is None:
+            order = sorted(
+                range(len(bucket)),
+                key=lambda i: (bucket.subtree_weights[i], i),
+            )
+            bucket.structure = order
+            if self.counters is not None and len(order) > 1:
+                # Standard comparison-sort cost model: b ceil(log2 b).
+                self.counters.comparisons += len(order) * max(
+                    1, (len(order) - 1).bit_length()
+                )
+
+    def _entry(self, bucket: Bucket, rank: int) -> Optional[int]:
+        order = bucket.structure
+        return order[rank] if rank < len(order) else None
+
+
+class LazyStrategy(_RankedStrategy):
+    """Incremental heap-sort per bucket (the paper's default variant)."""
+
+    name = "lazy"
+
+    def prepare(self, bucket: Bucket) -> None:
+        if bucket.structure is None:
+            bucket.structure = LazySortedList(
+                range(len(bucket)),
+                key=lambda i: (bucket.subtree_weights[i], i),
+                counters=self.counters,
+            )
+
+    def _entry(self, bucket: Bucket, rank: int) -> Optional[int]:
+        try:
+            return bucket.structure.get(rank)
+        except IndexError:
+            return None
+
+
+class QuickStrategy(_RankedStrategy):
+    """Incremental quickselect per bucket."""
+
+    name = "quick"
+
+    def prepare(self, bucket: Bucket) -> None:
+        if bucket.structure is None:
+            bucket.structure = IncrementalQuickSelect(
+                range(len(bucket)),
+                key=lambda i: (bucket.subtree_weights[i], i),
+                counters=self.counters,
+            )
+
+    def _entry(self, bucket: Bucket, rank: int) -> Optional[int]:
+        if rank >= len(bucket):
+            return None
+        return bucket.structure.get(rank)
+
+
+class Take2Strategy(SuccessorStrategy):
+    """Bucket heapified once; anchors are heap positions.
+
+    Heap children are no smaller than their parent, so replacing "next in
+    sorted order" by "the ≤2 heap children" keeps the global priority queue
+    correct while bounding the candidates spawned per pop.
+    """
+
+    name = "take2"
+
+    def prepare(self, bucket: Bucket) -> None:
+        if bucket.structure is None:
+            bucket.structure = TournamentBucket(
+                range(len(bucket)),
+                key=lambda i: (bucket.subtree_weights[i], i),
+                counters=self.counters,
+            )
+
+    def first(self, bucket: Bucket) -> int:
+        return 0
+
+    def successors(self, bucket: Bucket, anchor: int) -> list[int]:
+        return bucket.structure.children(anchor)
+
+    def deviations(self, bucket: Bucket) -> list[int]:
+        return bucket.structure.children(0)
+
+    def tuple_at(self, bucket: Bucket, anchor: int) -> int:
+        return bucket.tuple_ids[bucket.structure.item_at(anchor)]
+
+
+class AllStrategy(SuccessorStrategy):
+    """No bucket ordering: deviations insert every alternative at once.
+
+    Anchors are positions into the bucket arrays; the anchored choice is
+    *exact*, so popped candidates spawn no horizontal successors.
+    """
+
+    name = "all"
+
+    def prepare(self, bucket: Bucket) -> None:  # nothing to build
+        bucket.structure = True
+
+    def first(self, bucket: Bucket) -> int:
+        return bucket.best_position
+
+    def successors(self, bucket: Bucket, anchor: int) -> list[int]:
+        return []
+
+    def deviations(self, bucket: Bucket) -> list[int]:
+        return [i for i in range(len(bucket)) if i != bucket.best_position]
+
+    def initial_anchors(self, bucket: Bucket) -> list[int]:
+        return list(range(len(bucket)))
+
+    def tuple_at(self, bucket: Bucket, anchor: int) -> int:
+        return bucket.tuple_ids[anchor]
+
+
+STRATEGIES: dict[str, type[SuccessorStrategy]] = {
+    "eager": EagerStrategy,
+    "lazy": LazyStrategy,
+    "quick": QuickStrategy,
+    "take2": Take2Strategy,
+    "all": AllStrategy,
+}
+
+
+def anyk_part(
+    tdp: TDP, strategy: str = "lazy"
+) -> Iterator[tuple[tuple, Any]]:
+    """Enumerate ``(row, weight)`` in nondecreasing weight order.
+
+    ``strategy`` selects the bucket successor structure (see module
+    docstring).  The generator is lazy: stopping after k results costs
+    O((n +) k log k) beyond the T-DP preprocessing already paid.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown ANYK-PART strategy {strategy!r}; "
+            f"choose from {sorted(STRATEGIES)}"
+        )
+    succ = STRATEGIES[strategy](tdp.counters)
+    if tdp.is_empty():
+        return
+
+    queue = BinaryHeap(tdp.counters)
+    root_bucket = tdp.root_bucket()
+    succ.prepare(root_bucket)
+    for anchor in succ.initial_anchors(root_bucket):
+        choice = succ.tuple_at(root_bucket, anchor)
+        queue.push(tdp.prefix_priority((choice,)), ((choice,), anchor))
+
+    m = tdp.num_stages
+    while queue:
+        priority, (choices, anchor) = queue.pop()
+        length = len(choices)
+        last_bucket = tdp.bucket_for(length - 1, choices)
+
+        # Expand to the full best solution of this subspace and emit it.
+        full = tdp.expand_best(list(choices))
+        yield tdp.solution_row(full), priority
+        if tdp.counters is not None:
+            tdp.counters.output_tuples += 1
+
+        # Horizontal: the rest of the last stage's bucket after `anchor`.
+        for next_anchor in succ.successors(last_bucket, anchor):
+            new_choice = succ.tuple_at(last_bucket, next_anchor)
+            new_choices = choices[:-1] + (new_choice,)
+            queue.push(
+                tdp.prefix_priority(new_choices), (new_choices, next_anchor)
+            )
+
+        # Vertical: deviate at each later stage of the emitted solution.
+        for position in range(length, m):
+            bucket = tdp.bucket_for(position, full)
+            succ.prepare(bucket)
+            prefix = tuple(full[:position])
+            for dev_anchor in succ.deviations(bucket):
+                dev_choice = succ.tuple_at(bucket, dev_anchor)
+                dev_choices = prefix + (dev_choice,)
+                queue.push(
+                    tdp.prefix_priority(dev_choices), (dev_choices, dev_anchor)
+                )
+
+
+def naive_lawler(tdp: TDP) -> Iterator[tuple[tuple, Any]]:
+    """Lawler–Murty with from-scratch subproblem solving (experiment E10).
+
+    Structurally identical to :func:`anyk_part` with the Eager strategy,
+    but every candidate's priority is recomputed by a full bottom-up pass
+    over all surviving tuples — the "direct application of the procedure
+    that solves each partition from scratch", whose delay is polynomial in
+    the input instead of logarithmic in k.  The extra work is surfaced in
+    ``counters.extras['naive_dp_work']``.
+    """
+    succ = EagerStrategy(tdp.counters)
+    if tdp.is_empty():
+        return
+
+    def priority(choices: tuple) -> Any:
+        # Deliberately wasteful full pass: touch every surviving tuple to
+        # recompute what prefix_priority reads off precomputed minima.
+        if tdp.counters is not None:
+            tdp.counters.bump("naive_dp_work", tdp.total_tuples())
+            for stage in tdp.stages:
+                tdp.counters.comparisons += len(stage.relation)
+        return tdp.prefix_priority(choices)
+
+    queue = BinaryHeap(tdp.counters)
+    root_bucket = tdp.root_bucket()
+    succ.prepare(root_bucket)
+    anchor = succ.first(root_bucket)
+    choice = succ.tuple_at(root_bucket, anchor)
+    queue.push(priority((choice,)), ((choice,), anchor))
+
+    m = tdp.num_stages
+    while queue:
+        prio, (choices, anchor) = queue.pop()
+        length = len(choices)
+        last_bucket = tdp.bucket_for(length - 1, choices)
+        full = tdp.expand_best(list(choices))
+        yield tdp.solution_row(full), prio
+        if tdp.counters is not None:
+            tdp.counters.output_tuples += 1
+        for next_anchor in succ.successors(last_bucket, anchor):
+            new_choices = choices[:-1] + (succ.tuple_at(last_bucket, next_anchor),)
+            queue.push(priority(new_choices), (new_choices, next_anchor))
+        for position in range(length, m):
+            bucket = tdp.bucket_for(position, full)
+            succ.prepare(bucket)
+            prefix = tuple(full[:position])
+            for dev_anchor in succ.deviations(bucket):
+                dev_choices = prefix + (succ.tuple_at(bucket, dev_anchor),)
+                queue.push(priority(dev_choices), (dev_choices, dev_anchor))

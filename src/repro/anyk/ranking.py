@@ -1,0 +1,130 @@
+"""Ranking functions as selective dioids (tutorial Part 3).
+
+The companion paper frames the class of ranking functions any-k algorithms
+support algebraically: a *selective dioid* — a semiring whose "addition" is
+selective (x ⊕ y ∈ {x, y}, i.e. min under a total order) and whose
+"multiplication" ⊗ accumulates weights along a solution and is monotone
+w.r.t. the order.  Monotonicity is exactly what makes the DP principle of
+optimality (and hence ranked enumeration) work.
+
+A :class:`RankingFunction` packages ⊗, its identity, and a ``lift`` from raw
+float tuple weights into the dioid's carrier.  Provided instances:
+
+- :data:`SUM` — tropical (min, +): total weight of the combination, the
+  "lightest 4-cycles" ranking;
+- :data:`MAX` — bottleneck (min, max): minimize the heaviest participating
+  tuple;
+- :data:`PRODUCT` — (min, ×) over positive weights, via logs;
+- :data:`LEX` — lexicographic comparison of the per-stage weight vector
+  (carrier: tuples of floats).
+
+All carriers compare with ``<`` and support equality, which is all the
+enumeration machinery assumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class RankingFunction:
+    """A selective dioid driving ranked enumeration.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in benchmarks and ``repr``.
+    combine:
+        The monotone accumulation operator ⊗ on the carrier.
+    identity:
+        ⊗'s identity element (the weight of an empty combination).
+    lift:
+        Maps a raw input-tuple weight (float) into the carrier.
+    float_based:
+        True when the carrier is ``float`` — required for cyclic-query
+        rewrites, which pre-combine weights inside derived relations.
+    """
+
+    name: str
+    combine: Callable[[Any, Any], Any]
+    identity: Any
+    lift: Callable[[float], Any]
+    float_based: bool = True
+    raw_combine: Callable[[float, float], float] | None = None
+
+    def combine_many(self, weights) -> Any:
+        """Fold ⊗ over an iterable (in iteration order)."""
+        total = self.identity
+        first = True
+        for w in weights:
+            total = w if first else self.combine(total, w)
+            first = False
+        return total
+
+    def float_combine(self) -> Callable[[float, float], float]:
+        """⊗ in *raw weight space*, for engines that pre-combine weights.
+
+        The contract is ``lift(raw_combine(a, b)) == combine(lift(a),
+        lift(b))`` so that a derived relation storing pre-combined raw
+        weights ranks identically (e.g. PRODUCT pre-combines with ``a*b``,
+        not with ``log a + log b``).  Raises :class:`TypeError` for
+        non-float carriers (LEX), whose weights cannot be collapsed inside
+        derived relations.
+        """
+        if not self.float_based or self.raw_combine is None:
+            raise TypeError(
+                f"ranking {self.name!r} has a non-float carrier and cannot "
+                "be pre-combined inside derived relations"
+            )
+        return self.raw_combine
+
+    def __repr__(self) -> str:
+        return f"RankingFunction({self.name})"
+
+
+def _product_lift(weight: float) -> float:
+    if weight <= 0:
+        raise ValueError(
+            f"PRODUCT ranking requires strictly positive weights, got {weight}"
+        )
+    return math.log(weight)
+
+
+#: Tropical sum: results ranked by total weight (the default everywhere).
+SUM = RankingFunction(
+    "sum", lambda a, b: a + b, 0.0, float, raw_combine=lambda a, b: a + b
+)
+
+#: Bottleneck: results ranked by their heaviest participating tuple.
+MAX = RankingFunction(
+    "max", max, float("-inf"), float, raw_combine=lambda a, b: max(a, b)
+)
+
+#: Product of (positive) weights, compared in log space for stability.
+PRODUCT = RankingFunction(
+    "product",
+    lambda a, b: a + b,
+    0.0,
+    _product_lift,
+    raw_combine=lambda a, b: a * b,
+)
+
+#: Lexicographic: compare per-stage weight vectors position by position.
+#: Carrier is tuples; all solutions of one query have equal-length vectors,
+#: which keeps concatenation strictly monotone.
+LEX = RankingFunction(
+    "lex",
+    lambda a, b: a + b,
+    (),
+    lambda w: (float(w),),
+    float_based=False,
+)
+
+#: Rankings usable by every engine including cyclic rewrites.
+FLOAT_RANKINGS = (SUM, MAX, PRODUCT)
+
+#: All provided rankings.
+ALL_RANKINGS = (SUM, MAX, PRODUCT, LEX)

@@ -1,0 +1,145 @@
+"""ANYK-REC: recursive enumeration over the T-DP (tutorial Part 3).
+
+The second family of any-k algorithms originates in k-shortest-path
+solutions (Hoffman–Pavley 1959, Dreyfus, Jiménez–Marzal's REA) and exploits
+a generalization of the DP principle of optimality: the i-th best solution
+of a subproblem is composed of the *j-th best* (j ≤ i) solutions of its
+child subproblems.
+
+Every bucket (stage × parent-join-key) owns a memoized, lazily produced
+stream of its ranked subtree solutions.  Producing the next element of a
+stream pops a candidate from the bucket's own priority queue and pushes its
+rank-increments (Lawler-style deviation index over the child-rank vector
+prevents duplicates).  Crucially, streams are *shared* across all parent
+tuples with the same join-key — repeated suffixes are ranked once, which is
+why REC amortizes toward the last results (TT(last) competitive with batch)
+where PART keeps re-deriving suffixes; neither dominates (experiment E9).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.anyk.tdp import TDP, Bucket
+from repro.util.heaps import BinaryHeap
+
+
+class _Entry:
+    """One produced subtree solution of a bucket.
+
+    ``weight`` is the DFS-fold subtree weight; ``position`` indexes the
+    bucket's tuple arrays; ``child_ranks`` are the ranks consumed from each
+    child stream (in child-stage order).
+    """
+
+    __slots__ = ("weight", "position", "child_ranks")
+
+    def __init__(self, weight: Any, position: int, child_ranks: tuple[int, ...]):
+        self.weight = weight
+        self.position = position
+        self.child_ranks = child_ranks
+
+
+class _Stream:
+    """Memoized ranked stream of one bucket's subtree solutions."""
+
+    __slots__ = ("tdp", "stage_position", "bucket", "solutions", "heap")
+
+    def __init__(self, tdp: TDP, stage_position: int, bucket: Bucket) -> None:
+        self.tdp = tdp
+        self.stage_position = stage_position
+        self.bucket = bucket
+        self.solutions: list[_Entry] = []
+        self.heap = BinaryHeap(tdp.counters)
+        stage = tdp.stages[stage_position]
+        zeros = (0,) * len(stage.children)
+        # Every bucket tuple seeds one candidate with all-best children;
+        # its weight is exactly the precomputed subtree weight.
+        for position in range(len(bucket)):
+            self.heap.push(
+                (bucket.subtree_weights[position], position),
+                (position, zeros, 0),
+            )
+
+    # -- child stream access ------------------------------------------
+    def _child_stream(self, child_position: int, position: int) -> "_Stream":
+        tdp = self.tdp
+        child_stage = tdp.stages[child_position]
+        row = tdp.stages[self.stage_position].relation.rows[
+            self.bucket.tuple_ids[position]
+        ]
+        key = tuple(row[p] for p in child_stage.parent_key_positions)
+        return stream_for(tdp, child_position, tdp.buckets[child_position][key])
+
+    def _weight_of(self, position: int, child_ranks: tuple[int, ...]) -> Optional[Any]:
+        """Weight of a candidate, or None if some child rank is exhausted."""
+        tdp = self.tdp
+        stage = tdp.stages[self.stage_position]
+        tuple_id = self.bucket.tuple_ids[position]
+        weight = tdp.lifted[self.stage_position][tuple_id]
+        for child_index, child_position in enumerate(stage.children):
+            child_stream = self._child_stream(child_position, position)
+            entry = child_stream.get(child_ranks[child_index])
+            if entry is None:
+                return None
+            weight = tdp.ranking.combine(weight, entry.weight)
+        return weight
+
+    # -- production -----------------------------------------------------
+    def get(self, rank: int) -> Optional[_Entry]:
+        """The rank-th best subtree solution, produced on demand."""
+        while len(self.solutions) <= rank:
+            if not self.heap:
+                return None
+            (weight, _), (position, child_ranks, dev) = self.heap.pop()
+            self.solutions.append(_Entry(weight, position, child_ranks))
+            # Push rank-increments at coordinates >= dev (Lawler-style
+            # deviation index: no duplicates, full coverage).
+            for j in range(dev, len(child_ranks)):
+                bumped = (
+                    child_ranks[:j] + (child_ranks[j] + 1,) + child_ranks[j + 1 :]
+                )
+                bumped_weight = self._weight_of(position, bumped)
+                if bumped_weight is not None:
+                    self.heap.push((bumped_weight, position), (position, bumped, j))
+        return self.solutions[rank]
+
+
+def stream_for(tdp: TDP, stage_position: int, bucket: Bucket) -> _Stream:
+    """The bucket's memoized stream, created on first use."""
+    if bucket.stream is None:
+        bucket.stream = _Stream(tdp, stage_position, bucket)
+    return bucket.stream
+
+
+def _collect_choices(
+    stream: _Stream, entry: _Entry, choices: dict[int, int]
+) -> None:
+    """Recursively resolve an entry into per-stage tuple choices."""
+    tdp = stream.tdp
+    stage = tdp.stages[stream.stage_position]
+    choices[stream.stage_position] = stream.bucket.tuple_ids[entry.position]
+    for child_index, child_position in enumerate(stage.children):
+        child_stream = stream._child_stream(child_position, entry.position)
+        child_entry = child_stream.get(entry.child_ranks[child_index])
+        assert child_entry is not None
+        _collect_choices(child_stream, child_entry, choices)
+
+
+def anyk_rec(tdp: TDP) -> Iterator[tuple[tuple, Any]]:
+    """Enumerate ``(row, weight)`` in nondecreasing weight order via REC."""
+    if tdp.is_empty():
+        return
+    root = stream_for(tdp, 0, tdp.root_bucket())
+    rank = 0
+    while True:
+        entry = root.get(rank)
+        if entry is None:
+            return
+        choices: dict[int, int] = {}
+        _collect_choices(root, entry, choices)
+        vector = [choices[position] for position in range(tdp.num_stages)]
+        yield tdp.solution_row(vector), entry.weight
+        if tdp.counters is not None:
+            tdp.counters.output_tuples += 1
+        rank += 1

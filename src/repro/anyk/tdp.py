@@ -1,0 +1,298 @@
+"""Tree-based dynamic programming over a join tree (tutorial Part 3).
+
+The companion paper's central construction: after a full-reducer pass, an
+acyclic full conjunctive query becomes a *non-serial dynamic program* whose
+stages are the join-tree nodes (here serialized in DFS pre-order), whose
+states are the surviving input tuples, and whose solutions — one tuple per
+stage, consistent along tree edges — are exactly the query answers.
+
+Key objects:
+
+- :class:`Stage` — one join-tree node: its reduced relation, the join-key
+  positions linking it to its parent, and its DFS subtree extent.
+- :class:`Bucket` — the tuples of a stage sharing one parent join-key
+  value, with their *subtree weights* (the tuple's lifted weight ⊗ the best
+  achievable completion of its whole subtree) and the bucket minimum.
+  Buckets are the unit on which the ANYK-PART successor strategies operate.
+- :class:`TDP` — builds stages and buckets bottom-up in O(n) after
+  reduction, and provides the weight/row algebra shared by ANYK-PART and
+  ANYK-REC: canonical solution weights fold in DFS pre-order, so partial
+  (prefix) priorities and full solution weights are always comparable —
+  this is what makes non-float rankings such as LEX safe on trees.
+
+A *solution prefix* is a choice of tuples for stages ``0..L-1`` (DFS order
+guarantees each stage's parent is chosen before it).  Its *priority* — the
+exact weight of the best full solution extending it — folds assigned lifts
+and, for each frontier subtree, the corresponding bucket minimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.anyk.ranking import RankingFunction, SUM
+from repro.joins.semijoin import full_reducer
+from repro.query.cq import ConjunctiveQuery
+from repro.query.hypergraph import JoinTree, join_tree_or_raise
+from repro.util.counters import Counters
+
+
+@dataclass
+class Bucket:
+    """Tuples of one stage sharing a parent join-key value.
+
+    ``tuple_ids`` index into the stage relation; ``subtree_weights`` is
+    parallel.  ``best_position`` points at the (first) minimum.
+    ``structure`` is a per-strategy successor structure attached lazily by
+    ANYK-PART; ``stream`` is the memoized solution stream attached lazily
+    by ANYK-REC.
+    """
+
+    tuple_ids: list[int]
+    subtree_weights: list[Any]
+    best_position: int = 0
+    structure: Any = None
+    stream: Any = None
+
+    @property
+    def best_weight(self) -> Any:
+        """Minimum subtree weight in the bucket."""
+        return self.subtree_weights[self.best_position]
+
+    @property
+    def best_tuple(self) -> int:
+        """Tuple id achieving the bucket minimum."""
+        return self.tuple_ids[self.best_position]
+
+    def __len__(self) -> int:
+        return len(self.tuple_ids)
+
+
+@dataclass
+class Stage:
+    """One DP stage: a join-tree node in DFS pre-order."""
+
+    position: int
+    atom_index: int
+    relation: Relation
+    parent: Optional[int]  # stage position of the parent
+    #: positions (in this relation's schema) of the join vars with parent
+    own_key_positions: tuple[int, ...]
+    #: positions (in the parent relation's schema) of the same join vars
+    parent_key_positions: tuple[int, ...]
+    children: list[int] = field(default_factory=list)
+    subtree_size: int = 1
+
+
+class TDP:
+    """The compiled dynamic program for one acyclic full CQ.
+
+    Construction performs the full-reducer pass and the bottom-up subtree-
+    weight computation — O~(n) total — after which every any-k algorithm
+    enumerates without touching the base database again.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        query: ConjunctiveQuery,
+        ranking: RankingFunction = SUM,
+        tree: Optional[JoinTree] = None,
+        counters: Optional[Counters] = None,
+    ) -> None:
+        query.validate(db)
+        self.query = query
+        self.ranking = ranking
+        self.counters = counters
+        self.tree = tree if tree is not None else join_tree_or_raise(query)
+        reduced = full_reducer(db, query, tree=self.tree, counters=counters)
+
+        self.stages: list[Stage] = []
+        self._build_stages(reduced)
+        self.num_stages = len(self.stages)
+
+        # Lifted tuple weights per stage (parallel to relation rows).
+        lift = ranking.lift
+        self.lifted: list[list[Any]] = [
+            [lift(w) for w in stage.relation.weights] for stage in self.stages
+        ]
+
+        #: per stage: parent-key -> Bucket
+        self.buckets: list[dict[tuple, Bucket]] = [
+            {} for _ in range(self.num_stages)
+        ]
+        self._compute_bottom_up()
+
+        # Output assembly: for each stage, (schema position, output position)
+        # pairs for variables first bound at this stage.
+        seen: set[str] = set()
+        self._writers: list[list[tuple[int, int]]] = []
+        out_position = {v: i for i, v in enumerate(query.variables)}
+        for stage in self.stages:
+            writers = []
+            for schema_position, variable in enumerate(stage.relation.schema):
+                if variable not in seen:
+                    seen.add(variable)
+                    writers.append((schema_position, out_position[variable]))
+            self._writers.append(writers)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_stages(self, reduced: dict[int, Relation]) -> None:
+        """DFS pre-order serialization of the join tree."""
+        position_of_atom: dict[int, int] = {}
+
+        def visit(atom_index: int, parent_position: Optional[int]) -> None:
+            relation = reduced[atom_index]
+            if parent_position is None:
+                own_key: tuple[int, ...] = ()
+                parent_key: tuple[int, ...] = ()
+            else:
+                parent_stage = self.stages[parent_position]
+                join_vars = sorted(
+                    set(relation.schema) & set(parent_stage.relation.schema)
+                )
+                own_key = relation.positions(join_vars)
+                parent_key = parent_stage.relation.positions(join_vars)
+            position = len(self.stages)
+            position_of_atom[atom_index] = position
+            stage = Stage(
+                position=position,
+                atom_index=atom_index,
+                relation=relation,
+                parent=parent_position,
+                own_key_positions=own_key,
+                parent_key_positions=parent_key,
+            )
+            self.stages.append(stage)
+            if parent_position is not None:
+                self.stages[parent_position].children.append(position)
+            for child_atom in self.tree.children[atom_index]:
+                visit(child_atom, position)
+            stage.subtree_size = len(self.stages) - position
+
+        visit(self.tree.root, None)
+
+    def _compute_bottom_up(self) -> None:
+        """Subtree weights and buckets, children before parents."""
+        combine = self.ranking.combine
+        for position in range(self.num_stages - 1, -1, -1):
+            stage = self.stages[position]
+            relation = stage.relation
+            lifted = self.lifted[position]
+            subtree: list[Any] = []
+            for tuple_id, row in enumerate(relation.rows):
+                if self.counters is not None:
+                    self.counters.tuples_read += 1
+                weight = lifted[tuple_id]
+                for child_position in stage.children:
+                    child_stage = self.stages[child_position]
+                    key = tuple(
+                        row[p] for p in child_stage.parent_key_positions
+                    )
+                    child_bucket = self.buckets[child_position][key]
+                    weight = combine(weight, child_bucket.best_weight)
+                subtree.append(weight)
+            # Bucket the tuples by parent join key.
+            stage_buckets = self.buckets[position]
+            for tuple_id, row in enumerate(relation.rows):
+                key = tuple(row[p] for p in stage.own_key_positions)
+                bucket = stage_buckets.get(key)
+                if bucket is None:
+                    bucket = Bucket(tuple_ids=[], subtree_weights=[])
+                    stage_buckets[key] = bucket
+                bucket.tuple_ids.append(tuple_id)
+                bucket.subtree_weights.append(subtree[tuple_id])
+            for bucket in stage_buckets.values():
+                best = 0
+                weights = bucket.subtree_weights
+                for i in range(1, len(weights)):
+                    if self.counters is not None:
+                        self.counters.comparisons += 1
+                    if weights[i] < weights[best]:
+                        best = i
+                bucket.best_position = best
+
+    # ------------------------------------------------------------------
+    # Accessors used by the enumeration algorithms
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        """True iff the query has no answers (root bucket empty/absent)."""
+        root = self.buckets[0].get(())
+        return root is None or len(root) == 0
+
+    def root_bucket(self) -> Optional[Bucket]:
+        """The single bucket of the root stage (key ``()``), or None."""
+        return self.buckets[0].get(())
+
+    def bucket_for(self, position: int, choices: Sequence[int]) -> Bucket:
+        """The stage's bucket selected by the parent's chosen tuple.
+
+        ``choices[stage.parent]`` must be assigned.  After the full
+        reducer, the bucket always exists.
+        """
+        stage = self.stages[position]
+        if stage.parent is None:
+            return self.buckets[0][()]
+        parent_row = self.stages[stage.parent].relation.rows[
+            choices[stage.parent]
+        ]
+        key = tuple(parent_row[p] for p in stage.parent_key_positions)
+        return self.buckets[position][key]
+
+    def prefix_priority(self, choices: Sequence[int]) -> Any:
+        """Exact weight of the best full solution extending ``choices``.
+
+        Folds, in DFS pre-order: the lifted weight of each assigned stage,
+        and for each frontier stage (unassigned, parent assigned) its
+        bucket minimum — then skips that stage's whole DFS subtree, which
+        the bucket minimum already accounts for.
+        """
+        length = len(choices)
+        combine = self.ranking.combine
+        total = self.ranking.identity
+        first = True
+        position = 0
+        while position < self.num_stages:
+            if position < length:
+                contribution = self.lifted[position][choices[position]]
+                step = 1
+            else:
+                bucket = self.bucket_for(position, choices)
+                contribution = bucket.best_weight
+                step = self.stages[position].subtree_size
+            total = contribution if first else combine(total, contribution)
+            first = False
+            position += step
+        return total
+
+    def solution_weight(self, choices: Sequence[int]) -> Any:
+        """Weight of a full solution (DFS-order fold of lifted weights)."""
+        if len(choices) != self.num_stages:
+            raise ValueError("solution must assign every stage")
+        return self.prefix_priority(choices)
+
+    def expand_best(self, choices: list[int]) -> list[int]:
+        """Extend a prefix to the best full solution, in place (greedy:
+        each remaining stage takes its bucket minimum)."""
+        for position in range(len(choices), self.num_stages):
+            bucket = self.bucket_for(position, choices)
+            choices.append(bucket.best_tuple)
+        return choices
+
+    def solution_row(self, choices: Sequence[int]) -> tuple:
+        """Assemble the output row of a full solution."""
+        out: list = [None] * len(self.query.variables)
+        for position, stage in enumerate(self.stages):
+            row = stage.relation.rows[choices[position]]
+            for schema_position, out_position in self._writers[position]:
+                out[out_position] = row[schema_position]
+        return tuple(out)
+
+    def total_tuples(self) -> int:
+        """Total surviving tuples across stages (the naive-Lawler cost)."""
+        return sum(len(stage.relation) for stage in self.stages)

@@ -1,0 +1,19 @@
+"""In-memory relational substrate.
+
+Everything in this library operates on :class:`~repro.data.relation.Relation`
+objects collected in a :class:`~repro.data.database.Database`.  Relations are
+bags of value tuples with an optional per-tuple *weight*; weights drive the
+ranking in the top-k and any-k parts of the library (lower weight = better,
+matching the tutorial's "top-k lightest 4-cycles" framing).
+
+:mod:`repro.data.generators` builds the synthetic workloads used by the
+examples, tests and benchmarks, including the adversarial instances the
+tutorial describes explicitly (the Θ(n²)-intermediate-result triangle
+instance of Part 2, and graphs with quadratically many 4-cycles from the
+introduction).
+"""
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+
+__all__ = ["Relation", "Database"]

@@ -1,0 +1,68 @@
+"""Database catalog: a named collection of relations.
+
+The catalog is intentionally small: the library's engines take a
+:class:`Database` plus a :class:`~repro.query.cq.ConjunctiveQuery` whose
+atoms name relations in the catalog.  Self-joins are expressed by several
+atoms referring to the same relation name (the tutorial's graph-pattern
+queries are all self-joins over a single edge relation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.data.relation import Relation, SchemaError
+
+
+class Database:
+    """A mapping from relation name to :class:`Relation`."""
+
+    def __init__(self, relations: Optional[Iterable[Relation]] = None) -> None:
+        self._relations: dict[str, Relation] = {}
+        for relation in relations or ():
+            self.add(relation)
+
+    def add(self, relation: Relation) -> None:
+        """Register a relation; names must be unique."""
+        if relation.name in self._relations:
+            raise SchemaError(f"database already has a relation {relation.name!r}")
+        self._relations[relation.name] = relation
+
+    def replace(self, relation: Relation) -> None:
+        """Register a relation, overwriting any existing one of that name."""
+        self._relations[relation.name] = relation
+
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"no relation {name!r}; known: {sorted(self._relations)}"
+            ) from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def names(self) -> list[str]:
+        """Sorted relation names."""
+        return sorted(self._relations)
+
+    def max_relation_size(self) -> int:
+        """n — the size of the largest relation (the paper's parameter)."""
+        if not self._relations:
+            return 0
+        return max(len(r) for r in self._relations.values())
+
+    def total_tuples(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(r) for r in self._relations.values())
+
+    def copy(self) -> "Database":
+        """Deep-enough copy: relations are copied, rows shared (immutable)."""
+        return Database(relation.copy() for relation in self)

@@ -1,0 +1,163 @@
+"""Loading and saving relations as delimited text files.
+
+Real deployments of the algorithms in this library start from edge lists
+and scored tables on disk; this module provides the small, dependency-free
+I/O layer: weighted relations as CSV/TSV (one column per attribute plus an
+optional trailing weight column), graph edge lists, and the scored lists of
+the TA middleware model.
+
+Values are read as ``int`` when possible, then ``float``, else kept as
+strings — the pragmatic typing rule for ad-hoc data files.  Weights must
+parse as finite floats (enforced by :class:`~repro.data.relation.Relation`).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.data.database import Database
+from repro.data.relation import Relation, SchemaError
+
+PathLike = Union[str, Path]
+
+#: Column name marking the weight column in headered files.
+WEIGHT_COLUMN = "__weight__"
+
+
+def _parse_value(text: str):
+    """int if possible, then float, else the raw string."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def load_relation(
+    path: PathLike,
+    name: Optional[str] = None,
+    schema: Optional[Sequence[str]] = None,
+    delimiter: str = ",",
+    has_weights: Optional[bool] = None,
+) -> Relation:
+    """Read a relation from a delimited file.
+
+    With ``schema=None`` the first row is a header; a trailing
+    ``__weight__`` column holds tuple weights.  With an explicit schema
+    there is no header, and ``has_weights`` says whether a trailing weight
+    column is present (default: inferred from the first row's width).
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        rows = [row for row in reader if row]
+    if not rows:
+        raise SchemaError(f"{path}: empty file; cannot infer a schema")
+
+    if schema is None:
+        header = rows[0]
+        data_rows = rows[1:]
+        weighted = bool(header) and header[-1] == WEIGHT_COLUMN
+        attributes = tuple(header[:-1] if weighted else header)
+    else:
+        attributes = tuple(schema)
+        data_rows = rows
+        if has_weights is None:
+            weighted = bool(data_rows) and len(data_rows[0]) == len(attributes) + 1
+        else:
+            weighted = has_weights
+
+    relation = Relation(name or path.stem, attributes)
+    expected = len(attributes) + (1 if weighted else 0)
+    for line_number, row in enumerate(data_rows, start=2 if schema is None else 1):
+        if len(row) != expected:
+            raise SchemaError(
+                f"{path}:{line_number}: expected {expected} fields, got {len(row)}"
+            )
+        values = tuple(_parse_value(field) for field in row[: len(attributes)])
+        weight = float(row[-1]) if weighted else 0.0
+        relation.add(values, weight)
+    return relation
+
+
+def save_relation(
+    relation: Relation,
+    path: PathLike,
+    delimiter: str = ",",
+    include_weights: bool = True,
+) -> None:
+    """Write a relation with a header row (round-trips with
+    :func:`load_relation`)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        header = list(relation.schema)
+        if include_weights:
+            header.append(WEIGHT_COLUMN)
+        writer.writerow(header)
+        for row, weight in zip(relation.rows, relation.weights):
+            record = [str(v) for v in row]
+            if include_weights:
+                record.append(repr(weight))
+            writer.writerow(record)
+
+
+def load_graph(
+    path: PathLike,
+    relation_name: str = "E",
+    delimiter: str = ",",
+    default_weight: float = 0.0,
+) -> Database:
+    """Read an edge list ``src,dst[,weight]`` (no header) into E(src, dst)."""
+    path = Path(path)
+    relation = Relation(relation_name, ("src", "dst"))
+    with path.open(newline="") as handle:
+        for line_number, row in enumerate(
+            csv.reader(handle, delimiter=delimiter), start=1
+        ):
+            if not row or (len(row) == 1 and not row[0].strip()):
+                continue
+            if row[0].lstrip().startswith("#"):
+                continue
+            if len(row) not in (2, 3):
+                raise SchemaError(
+                    f"{path}:{line_number}: expected 2 or 3 fields, got {len(row)}"
+                )
+            weight = float(row[2]) if len(row) == 3 else default_weight
+            relation.add(
+                (_parse_value(row[0]), _parse_value(row[1])), weight
+            )
+    return Database([relation])
+
+
+def load_scored_lists(
+    paths: Sequence[PathLike], delimiter: str = ","
+) -> list[list[tuple[str, float]]]:
+    """Read TA-model scored lists, one ``object,score`` file per list.
+
+    Rows need not be pre-sorted; each list is sorted by descending score
+    (ties broken by object id) as the access model requires.
+    """
+    lists: list[list[tuple[str, float]]] = []
+    for path in paths:
+        path = Path(path)
+        column: list[tuple[str, float]] = []
+        with path.open(newline="") as handle:
+            for line_number, row in enumerate(
+                csv.reader(handle, delimiter=delimiter), start=1
+            ):
+                if not row:
+                    continue
+                if len(row) != 2:
+                    raise SchemaError(
+                        f"{path}:{line_number}: expected 2 fields, got {len(row)}"
+                    )
+                column.append((row[0], float(row[1])))
+        column.sort(key=lambda pair: (-pair[1], pair[0]))
+        lists.append(column)
+    return lists

@@ -1,0 +1,216 @@
+"""Weighted in-memory relations.
+
+A :class:`Relation` is a named bag of fixed-arity value tuples, each carrying
+a numeric weight.  Weights are the ranking signal for top-k / any-k queries:
+the weight of a join result is the ranking-function combination (by default
+the sum) of the weights of the input tuples that produced it, exactly the
+"aggregate weight" notion of the tutorial's Part 1.
+
+Relations are append-only; hash indexes on attribute subsets are built
+lazily and cached, and invalidated on mutation.  Lower weight means more
+important throughout (the tutorial's "lightest cycles" convention); the
+top-k middleware algorithms in :mod:`repro.topk` use descending *scores*
+instead, and convert explicitly at the boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schemas or rows that do not match a schema."""
+
+
+class Relation:
+    """A named, weighted, in-memory relation.
+
+    Parameters
+    ----------
+    name:
+        Relation name used by query atoms to refer to it.
+    schema:
+        Attribute names, one per column.  Must be unique within the relation.
+    rows:
+        Optional initial rows (iterable of value tuples).
+    weights:
+        Optional per-row weights, parallel to ``rows``.  Defaults to 0.0 for
+        every row, which makes unweighted (pure join) use transparent.
+    """
+
+    __slots__ = ("name", "schema", "rows", "weights", "_indexes")
+
+    def __init__(
+        self,
+        name: str,
+        schema: Sequence[str],
+        rows: Optional[Iterable[Sequence[Any]]] = None,
+        weights: Optional[Iterable[float]] = None,
+    ) -> None:
+        schema = tuple(schema)
+        if not schema:
+            raise SchemaError(f"relation {name!r} must have at least one attribute")
+        if len(set(schema)) != len(schema):
+            raise SchemaError(f"relation {name!r} has duplicate attributes: {schema}")
+        self.name = name
+        self.schema = schema
+        self.rows: list[tuple] = []
+        self.weights: list[float] = []
+        self._indexes: dict[tuple[str, ...], dict] = {}
+        if rows is not None:
+            weight_list = list(weights) if weights is not None else None
+            row_list = [tuple(row) for row in rows]
+            if weight_list is not None and len(weight_list) != len(row_list):
+                raise SchemaError(
+                    f"relation {name!r}: {len(row_list)} rows but "
+                    f"{len(weight_list)} weights"
+                )
+            for i, row in enumerate(row_list):
+                self.add(row, weight_list[i] if weight_list is not None else 0.0)
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, {self.schema!r}, {len(self.rows)} rows)"
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.schema)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, row: Sequence[Any], weight: float = 0.0) -> None:
+        """Append one row with the given weight.
+
+        Rejects rows of the wrong arity and non-finite weights (NaN weights
+        would silently corrupt every ranking structure downstream).
+        """
+        row = tuple(row)
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"relation {self.name!r}: row {row!r} has arity {len(row)}, "
+                f"schema has arity {len(self.schema)}"
+            )
+        weight = float(weight)
+        if not math.isfinite(weight):
+            raise SchemaError(
+                f"relation {self.name!r}: weight {weight!r} is not finite"
+            )
+        self.rows.append(row)
+        self.weights.append(weight)
+        self._indexes.clear()
+
+    def extend(
+        self, rows: Iterable[Sequence[Any]], weights: Optional[Iterable[float]] = None
+    ) -> None:
+        """Append many rows (with optional parallel weights)."""
+        if weights is None:
+            for row in rows:
+                self.add(row)
+        else:
+            for row, weight in zip(rows, weights, strict=True):
+                self.add(row, weight)
+
+    # ------------------------------------------------------------------
+    # Attribute access helpers
+    # ------------------------------------------------------------------
+    def positions(self, attrs: Sequence[str]) -> tuple[int, ...]:
+        """Column positions of the named attributes.
+
+        Raises :class:`SchemaError` for unknown attribute names.
+        """
+        try:
+            return tuple(self.schema.index(a) for a in attrs)
+        except ValueError as exc:
+            raise SchemaError(
+                f"relation {self.name!r} with schema {self.schema} has no "
+                f"attribute among {tuple(attrs)!r}"
+            ) from exc
+
+    def key_of(self, row: Sequence[Any], attrs: Sequence[str]) -> tuple:
+        """Project ``row`` onto ``attrs`` (as a tuple key)."""
+        return tuple(row[p] for p in self.positions(attrs))
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def index_on(self, attrs: Sequence[str]) -> dict[tuple, list[int]]:
+        """Hash index: projection key -> list of row positions.
+
+        Built on first use and cached until the relation is mutated.
+        """
+        attrs = tuple(attrs)
+        cached = self._indexes.get(attrs)
+        if cached is not None:
+            return cached
+        positions = self.positions(attrs)
+        index: dict[tuple, list[int]] = {}
+        for i, row in enumerate(self.rows):
+            key = tuple(row[p] for p in positions)
+            index.setdefault(key, []).append(i)
+        self._indexes[attrs] = index
+        return index
+
+    def distinct_keys(self, attrs: Sequence[str]) -> Iterable[tuple]:
+        """Distinct projection keys on ``attrs``."""
+        return self.index_on(attrs).keys()
+
+    # ------------------------------------------------------------------
+    # Relational operations (copying)
+    # ------------------------------------------------------------------
+    def project(self, attrs: Sequence[str], name: Optional[str] = None) -> "Relation":
+        """Projection (bag semantics: keeps duplicates and weights)."""
+        positions = self.positions(attrs)
+        out = Relation(name or f"pi_{self.name}", attrs)
+        for row, weight in zip(self.rows, self.weights):
+            out.add(tuple(row[p] for p in positions), weight)
+        return out
+
+    def select(
+        self, predicate: Callable[[tuple], bool], name: Optional[str] = None
+    ) -> "Relation":
+        """Selection by an arbitrary row predicate."""
+        out = Relation(name or f"sigma_{self.name}", self.schema)
+        for row, weight in zip(self.rows, self.weights):
+            if predicate(row):
+                out.add(row, weight)
+        return out
+
+    def rename(
+        self, mapping: dict[str, str], name: Optional[str] = None
+    ) -> "Relation":
+        """Rename attributes; shares row storage semantics by copying."""
+        new_schema = tuple(mapping.get(a, a) for a in self.schema)
+        out = Relation(name or self.name, new_schema)
+        out.rows = list(self.rows)
+        out.weights = list(self.weights)
+        return out
+
+    def copy(self, name: Optional[str] = None) -> "Relation":
+        """Shallow copy (rows are immutable tuples, so this is safe)."""
+        out = Relation(name or self.name, self.schema)
+        out.rows = list(self.rows)
+        out.weights = list(self.weights)
+        return out
+
+    def sorted_by_weight(self) -> "Relation":
+        """A copy sorted by ascending weight (ties broken by row value)."""
+        order = sorted(range(len(self.rows)), key=lambda i: (self.weights[i], self.rows[i]))
+        out = Relation(self.name, self.schema)
+        out.rows = [self.rows[i] for i in order]
+        out.weights = [self.weights[i] for i in order]
+        return out
+
+    def as_set(self) -> set[tuple]:
+        """The set of distinct rows (weights ignored)."""
+        return set(self.rows)

@@ -1,0 +1,46 @@
+"""Factorized representations of query results (tutorial §3).
+
+The tutorial surveys factorised databases (Olteanu–Závodný; FDB) as the
+second route — besides decompositions — to beating the "materialize
+everything flat" complexity: query results are represented as a circuit of
+unions and products following a join tree, whose size is O~(n^fhw) even
+when the flat output has Θ(n^|Q|) tuples.  Aggregates (count, min, sum —
+any commutative semiring, the FAQ view) evaluate directly on the circuit in
+one bottom-up pass, and results can be *enumerated* from it with constant
+delay — the connection to constant-delay enumeration the tutorial draws in
+Part 3 (an unordered counterpart of the any-k algorithms).
+
+Modules:
+
+- :mod:`repro.factorized.frep` — build the factorized representation of an
+  acyclic full CQ over a join tree; measure its size against the flat
+  output size.
+- :mod:`repro.factorized.aggregates` — commutative-semiring aggregates
+  (count, sum-of-weights, min/max weight) in a single O~(n) pass.
+- :mod:`repro.factorized.enumerate` — constant-delay (unordered)
+  enumeration from the representation.
+"""
+
+from repro.factorized.aggregates import (
+    COUNT,
+    MAX_WEIGHT,
+    MIN_WEIGHT,
+    SUM_WEIGHT,
+    Semiring,
+    aggregate,
+    count_results,
+)
+from repro.factorized.enumerate import enumerate_results
+from repro.factorized.frep import FactorizedRepresentation
+
+__all__ = [
+    "FactorizedRepresentation",
+    "Semiring",
+    "aggregate",
+    "count_results",
+    "COUNT",
+    "SUM_WEIGHT",
+    "MIN_WEIGHT",
+    "MAX_WEIGHT",
+    "enumerate_results",
+]

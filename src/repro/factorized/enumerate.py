@@ -1,0 +1,78 @@
+"""Constant-delay enumeration from a factorized representation.
+
+The tutorial's Part 3 draws the connection: if an algorithm spends
+``t_prep`` on preprocessing and then returns results with constant delay —
+in no particular order — the total join time is O~(t_prep + r), an
+output-sensitive guarantee.  After the full reducer, the factorized circuit
+has no dead branches, so a straightforward nested iteration over buckets
+yields each result in O(|Q|) = O(1) data-complexity work: this module is
+that enumeration.  Any-k (:mod:`repro.anyk`) is the *ordered* refinement of
+exactly this procedure, paying a log factor for ranking — benchmark E15
+measures the gap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.factorized.frep import FactorizedRepresentation
+from repro.util.counters import Counters
+
+
+def enumerate_results(
+    frep: FactorizedRepresentation,
+    counters: Optional[Counters] = None,
+) -> Iterator[tuple[tuple, float]]:
+    """Yield all ``(row, total_weight)`` results, unordered, constant delay.
+
+    The iteration is a DFS over stage choices: every partial choice vector
+    extends to at least one result (global consistency), so between two
+    consecutive yields the work is bounded by the (constant) query size.
+    """
+    if frep.is_empty():
+        return
+    num_stages = frep.num_stages
+    choices = [0] * num_stages
+    #: per stage: the bucket (list of tuple ids) currently iterated and the
+    #: index within it
+    bucket_stack: list[list[int]] = [frep.root_bucket()] + [[]] * (num_stages - 1)
+    index_stack = [0] * num_stages
+
+    position = 0
+    while position >= 0:
+        bucket = bucket_stack[position]
+        if index_stack[position] >= len(bucket):
+            # Exhausted this union: backtrack and advance the previous one.
+            index_stack[position] = 0
+            position -= 1
+            if position >= 0:
+                index_stack[position] += 1
+            continue
+        choices[position] = bucket[index_stack[position]]
+        if counters is not None:
+            counters.tuples_read += 1
+        if position == num_stages - 1:
+            yield _result(frep, choices, counters)
+            index_stack[position] += 1
+        else:
+            next_position = position + 1
+            parent_position = frep.stages[next_position].parent
+            assert parent_position is not None
+            bucket_stack[next_position] = frep.child_bucket(
+                next_position, parent_position, choices[parent_position]
+            )
+            index_stack[next_position] = 0
+            position = next_position
+
+
+def _result(
+    frep: FactorizedRepresentation,
+    choices: list[int],
+    counters: Optional[Counters],
+) -> tuple[tuple, float]:
+    weight = 0.0
+    for position, stage in enumerate(frep.stages):
+        weight += stage.relation.weights[choices[position]]
+    if counters is not None:
+        counters.output_tuples += 1
+    return frep.assemble_row(choices), weight

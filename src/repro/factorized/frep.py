@@ -1,0 +1,171 @@
+"""Building factorized representations over join trees.
+
+A factorized representation (f-representation in Olteanu–Závodný terms) of
+an acyclic full CQ's result is a DAG-shaped circuit of unions (the tuples
+of a bucket) and products (a tuple combined with one bucket per child
+join-tree node).  This module compiles a reduced database into that
+structure — deliberately mirroring the T-DP of :mod:`repro.anyk.tdp`, since
+the tutorial's Part 3 point is precisely that ranked enumeration, (unranked)
+constant-delay enumeration, and factorized aggregates all stand on the same
+join-tree foundation.
+
+The headline property (§3): ``size()`` is O~(n) for any acyclic query,
+while the flat result can be as large as Θ(n^|Q|) — the compression the
+benchmarks of E14 measure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.joins.semijoin import full_reducer
+from repro.query.cq import ConjunctiveQuery
+from repro.query.hypergraph import JoinTree, join_tree_or_raise
+from repro.util.counters import Counters
+
+
+@dataclass
+class FStage:
+    """One join-tree node of the factorized representation.
+
+    Mirrors :class:`repro.anyk.tdp.Stage`: the reduced relation, join-key
+    column positions linking to the parent stage, and child stages.
+    """
+
+    position: int
+    atom_index: int
+    relation: Relation
+    parent: Optional[int]
+    own_key_positions: tuple[int, ...]
+    parent_key_positions: tuple[int, ...]
+    children: list[int] = field(default_factory=list)
+
+
+class FactorizedRepresentation:
+    """The compiled factorization of one acyclic full CQ over a database.
+
+    Construction runs the full reducer (so the circuit contains no dead
+    branches — the property that later makes enumeration constant-delay)
+    and buckets each stage's tuples by their parent join-key value.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        query: ConjunctiveQuery,
+        tree: Optional[JoinTree] = None,
+        counters: Optional[Counters] = None,
+    ) -> None:
+        query.validate(db)
+        self.query = query
+        self.counters = counters
+        self.tree = tree if tree is not None else join_tree_or_raise(query)
+        reduced = full_reducer(db, query, tree=self.tree, counters=counters)
+
+        self.stages: list[FStage] = []
+        self._build_stages(reduced)
+        self.num_stages = len(self.stages)
+
+        #: per stage: parent-key -> list of tuple ids (a union node)
+        self.buckets: list[dict[tuple, list[int]]] = []
+        for stage in self.stages:
+            buckets: dict[tuple, list[int]] = {}
+            for tuple_id, row in enumerate(stage.relation.rows):
+                if counters is not None:
+                    counters.tuples_read += 1
+                key = tuple(row[p] for p in stage.own_key_positions)
+                buckets.setdefault(key, []).append(tuple_id)
+            self.buckets.append(buckets)
+
+        # Output assembly bookkeeping (variables first bound per stage).
+        seen: set[str] = set()
+        out_position = {v: i for i, v in enumerate(query.variables)}
+        self._writers: list[list[tuple[int, int]]] = []
+        for stage in self.stages:
+            writers = []
+            for schema_position, variable in enumerate(stage.relation.schema):
+                if variable not in seen:
+                    seen.add(variable)
+                    writers.append((schema_position, out_position[variable]))
+            self._writers.append(writers)
+
+    def _build_stages(self, reduced: dict[int, Relation]) -> None:
+        def visit(atom_index: int, parent_position: Optional[int]) -> None:
+            relation = reduced[atom_index]
+            if parent_position is None:
+                own_key: tuple[int, ...] = ()
+                parent_key: tuple[int, ...] = ()
+            else:
+                parent_stage = self.stages[parent_position]
+                join_vars = sorted(
+                    set(relation.schema) & set(parent_stage.relation.schema)
+                )
+                own_key = relation.positions(join_vars)
+                parent_key = parent_stage.relation.positions(join_vars)
+            position = len(self.stages)
+            stage = FStage(
+                position=position,
+                atom_index=atom_index,
+                relation=relation,
+                parent=parent_position,
+                own_key_positions=own_key,
+                parent_key_positions=parent_key,
+            )
+            self.stages.append(stage)
+            if parent_position is not None:
+                self.stages[parent_position].children.append(position)
+            for child_atom in self.tree.children[atom_index]:
+                visit(child_atom, position)
+
+        visit(self.tree.root, None)
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+    def root_bucket(self) -> list[int]:
+        """Tuple ids of the root union (empty when the result is empty)."""
+        return self.buckets[0].get((), [])
+
+    def child_bucket(
+        self, child_position: int, parent_position: int, parent_tuple: int
+    ) -> list[int]:
+        """The child union selected by a parent tuple's join-key value."""
+        child_stage = self.stages[child_position]
+        row = self.stages[parent_position].relation.rows[parent_tuple]
+        key = tuple(row[p] for p in child_stage.parent_key_positions)
+        return self.buckets[child_position][key]
+
+    def is_empty(self) -> bool:
+        """True iff the query has no answers."""
+        return not self.root_bucket()
+
+    # ------------------------------------------------------------------
+    # Size measures (the §3 story)
+    # ------------------------------------------------------------------
+    def size(self) -> int:
+        """Number of singleton (tuple) nodes in the circuit — O~(n)."""
+        return sum(len(stage.relation) for stage in self.stages)
+
+    def flat_size(self) -> int:
+        """Number of flat result tuples (computed on the circuit, without
+        materializing them)."""
+        from repro.factorized.aggregates import COUNT, aggregate
+
+        return aggregate(self, COUNT)
+
+    def compression_ratio(self) -> float:
+        """flat size / factorized size (≥ huge on high-arity outputs)."""
+        size = self.size()
+        return self.flat_size() / size if size else 0.0
+
+    def assemble_row(self, choices: list[int]) -> tuple:
+        """Output row of one choice-per-stage combination."""
+        out: list = [None] * len(self.query.variables)
+        for position, stage in enumerate(self.stages):
+            row = stage.relation.rows[choices[position]]
+            for schema_position, out_position in self._writers[position]:
+                out[out_position] = row[schema_position]
+        return tuple(out)

@@ -1,0 +1,63 @@
+"""Boolean conjunctive queries: "is there any result at all?" (§1, §3).
+
+The tutorial's motivating observation: worst-case-optimal join algorithms
+are not output-sensitive, so the Boolean 4-cycle query — answerable in
+O~(n^1.5) via the union-of-trees decomposition — would still cost a WCO
+algorithm O~(n²).  This module provides:
+
+- :func:`has_any_result` — a general Boolean evaluator that uses the
+  linear-time Yannakakis semijoin test for acyclic queries and
+  Generic-Join with early exit otherwise;
+- :func:`fourcycle_boolean` — the O~(n^1.5) heavy/light detection, one
+  Yannakakis emptiness test per union tree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.data.database import Database
+from repro.joins.generic_join import boolean as _generic_join_boolean
+from repro.joins.heavylight import fourcycle_union_of_trees
+from repro.joins.yannakakis import boolean as _yannakakis_boolean
+from repro.query.cq import ConjunctiveQuery
+from repro.query.hypergraph import gyo_reduction
+from repro.util.counters import Counters
+
+
+def has_any_result(
+    db: Database,
+    query: ConjunctiveQuery,
+    counters: Optional[Counters] = None,
+) -> bool:
+    """Boolean evaluation with the cheapest applicable strategy.
+
+    Acyclic queries use the bottom-up semijoin pass (O~(n)); cyclic queries
+    fall back to Generic-Join with early exit (O~(n^ρ*) worst case).
+    """
+    query.validate(db)
+    tree = gyo_reduction(query)
+    if tree is not None:
+        return _yannakakis_boolean(db, query, counters=counters, tree=tree)
+    return _generic_join_boolean(db, query, counters=counters)
+
+
+def fourcycle_boolean(
+    db: Database,
+    query: ConjunctiveQuery,
+    counters: Optional[Counters] = None,
+    threshold: Optional[float] = None,
+) -> bool:
+    """Is there any 4-cycle?  O~(n^1.5) via the union-of-trees (§1's claim).
+
+    Builds the heavy/light decomposition (cost O(n^1.5)) and runs the
+    linear-time acyclic Boolean test on each tree, stopping at the first
+    non-empty one.
+    """
+    trees = fourcycle_union_of_trees(
+        db, query, counters=counters, threshold=threshold
+    )
+    for tree in trees:
+        if _yannakakis_boolean(tree.database, tree.query, counters=counters):
+            return True
+    return False

@@ -1,0 +1,66 @@
+"""Binary hash join on variable-schema relations.
+
+The building block of the "two-relations-at-a-time" plans favoured by
+database optimizers (§3).  Joins are natural joins on shared attribute
+names; weights combine with the caller's accumulation operator.  Every
+produced tuple increments ``intermediate_tuples`` in the supplied counters,
+which is the series the triangle experiment (E1) reports: on the adversarial
+instance every pairwise join materializes Θ(n²) tuples while the final
+output is linear.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Optional
+
+from repro.data.relation import Relation
+from repro.util.counters import Counters
+
+
+def hash_join(
+    left: Relation,
+    right: Relation,
+    counters: Optional[Counters] = None,
+    combine: Callable[[float, float], float] = operator.add,
+    name: Optional[str] = None,
+) -> Relation:
+    """Natural hash join of two variable-schema relations.
+
+    The smaller input is used as the build side.  Output schema: left's
+    attributes followed by right's attributes not already present.
+    """
+    shared = tuple(a for a in left.schema if a in right.schema)
+    build, probe = (left, right) if len(left) <= len(right) else (right, left)
+    swapped = build is right
+
+    build_index = build.index_on(shared) if shared else {(): list(range(len(build)))}
+    probe_positions = probe.positions(shared) if shared else ()
+
+    out_schema = tuple(left.schema) + tuple(
+        a for a in right.schema if a not in left.schema
+    )
+    out = Relation(name or f"({left.name}⋈{right.name})", out_schema)
+
+    # Precompute how to assemble an output row from (left_row, right_row).
+    right_extra_positions = [
+        right.schema.index(a) for a in out_schema if a not in left.schema
+    ]
+
+    for probe_id, probe_row in enumerate(probe.rows):
+        if counters is not None:
+            counters.tuples_read += 1
+            counters.hash_probes += 1
+        key = tuple(probe_row[p] for p in probe_positions)
+        for build_id in build_index.get(key, ()):
+            if swapped:
+                left_row, right_row = probe_row, build.rows[build_id]
+                left_w, right_w = probe.weights[probe_id], build.weights[build_id]
+            else:
+                left_row, right_row = build.rows[build_id], probe_row
+                left_w, right_w = build.weights[build_id], probe.weights[probe_id]
+            row = tuple(left_row) + tuple(right_row[p] for p in right_extra_positions)
+            out.add(row, combine(left_w, right_w))
+            if counters is not None:
+                counters.intermediate_tuples += 1
+    return out

@@ -1,0 +1,171 @@
+"""Sorted tries over relations, with Leapfrog-style iterators.
+
+Worst-case-optimal joins need, per atom, the ability to (a) enumerate the
+distinct values of the next join variable given bound earlier variables in
+sorted order and (b) *seek* forward to the first value ≥ some target in
+logarithmic time.  A :class:`Trie` stores a relation level-by-level in a
+chosen attribute order; :class:`TrieIterator` exposes the classic
+``open / up / next / seek / key / at_end`` interface of the Leapfrog
+Triejoin paper.
+
+The last trie level stores the *weight lists* of the tuples that end there,
+so bag semantics survive: a relation holding the same row twice (with
+different weights) yields two join results.
+
+Since the tutorial's cost analysis assumes no pre-built indexes, trie
+construction cost is part of query time — counted through ``tuples_read``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Optional, Sequence
+
+from repro.data.relation import Relation
+from repro.util.counters import Counters
+
+
+def ordkey(value: Any) -> tuple[str, Any]:
+    """Total order over possibly mixed-type values.
+
+    Orders first by type name, then by value — enough to make seeks well
+    defined when different relations use different value types for the same
+    variable (they then simply never match).
+    """
+    return (value.__class__.__name__, value)
+
+
+class _Node:
+    """One trie level: parallel arrays of sorted keys and children.
+
+    ``children`` is ``None`` at the last level; there ``weight_lists[i]``
+    holds the weights of all duplicate rows ending at ``keys[i]``.
+    """
+
+    __slots__ = ("keys", "children", "weight_lists")
+
+    def __init__(self) -> None:
+        self.keys: list = []
+        self.children: Optional[list["_Node"]] = None
+        self.weight_lists: Optional[list[list[float]]] = None
+
+
+class Trie:
+    """A relation stored as a sorted trie in a given attribute order."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        attr_order: Sequence[str],
+        counters: Optional[Counters] = None,
+    ) -> None:
+        if sorted(attr_order) != sorted(relation.schema):
+            raise ValueError(
+                f"trie order {tuple(attr_order)} is not a permutation of "
+                f"schema {relation.schema}"
+            )
+        self.attr_order = tuple(attr_order)
+        self.depth = len(self.attr_order)
+        positions = relation.positions(self.attr_order)
+
+        # Build nested dicts first, then freeze into sorted arrays.
+        root_dict: dict = {}
+        for row, weight in zip(relation.rows, relation.weights):
+            if counters is not None:
+                counters.tuples_read += 1
+            node = root_dict
+            for p in positions[:-1]:
+                node = node.setdefault(row[p], {})
+            node.setdefault(row[positions[-1]], []).append(weight)
+        self.root = self._freeze(root_dict, level=0)
+
+    def _freeze(self, node_dict: dict, level: int) -> _Node:
+        node = _Node()
+        node.keys = sorted(node_dict.keys(), key=ordkey)
+        if level == self.depth - 1:
+            node.weight_lists = [node_dict[k] for k in node.keys]
+        else:
+            node.children = [
+                self._freeze(node_dict[k], level + 1) for k in node.keys
+            ]
+        return node
+
+    def iterator(self, counters: Optional[Counters] = None) -> "TrieIterator":
+        """A fresh iterator positioned above the first level."""
+        return TrieIterator(self, counters=counters)
+
+
+class TrieIterator:
+    """Leapfrog Triejoin linear iterator over one trie.
+
+    The iterator is a stack of (node, index) pairs; ``open`` descends into
+    the current key's child level, ``up`` pops, ``next``/``seek`` move
+    within the current level.  ``at_end()`` reports falling off the end of
+    the current level (the iterator stays usable: ``up`` recovers).
+    """
+
+    def __init__(self, trie: Trie, counters: Optional[Counters] = None) -> None:
+        self._trie = trie
+        self._counters = counters
+        self._stack: list[tuple[_Node, int]] = []
+
+    # -- position queries ------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Number of open levels."""
+        return len(self._stack)
+
+    def at_end(self) -> bool:
+        """True if the current level is exhausted."""
+        node, index = self._stack[-1]
+        return index >= len(node.keys)
+
+    def key(self) -> Any:
+        """The value at the current position."""
+        node, index = self._stack[-1]
+        return node.keys[index]
+
+    def weights(self) -> list[float]:
+        """Weight list at the current (last-level) position."""
+        node, index = self._stack[-1]
+        if node.weight_lists is None:
+            raise RuntimeError("weights() is only available at the last level")
+        return node.weight_lists[index]
+
+    # -- movement ---------------------------------------------------------
+    def open(self) -> None:
+        """Descend into the child level of the current key (or the root)."""
+        if not self._stack:
+            self._stack.append((self._trie.root, 0))
+            return
+        node, index = self._stack[-1]
+        if node.children is None:
+            raise RuntimeError("cannot open below the last trie level")
+        self._stack.append((node.children[index], 0))
+
+    def up(self) -> None:
+        """Return to the parent level."""
+        self._stack.pop()
+
+    def next(self) -> None:
+        """Advance one position within the current level."""
+        node, index = self._stack[-1]
+        self._stack[-1] = (node, index + 1)
+        if self._counters is not None:
+            self._counters.comparisons += 1
+
+    def seek(self, target: Any) -> None:
+        """Jump to the first key ≥ ``target`` within the current level.
+
+        Binary search from the current position (galloping would also do;
+        both meet the O(log) bound the LFTJ analysis needs).
+        """
+        node, index = self._stack[-1]
+        new_index = bisect_left(
+            node.keys, ordkey(target), lo=index, key=ordkey
+        )
+        self._stack[-1] = (node, new_index)
+        if self._counters is not None:
+            self._counters.comparisons += max(
+                1, (len(node.keys) - index).bit_length()
+            )

@@ -1,0 +1,26 @@
+"""k-shortest paths — the classic roots of any-k (tutorial Part 3).
+
+The tutorial traces ranked enumeration back to k-shortest-path algorithms,
+"some of which dates back to the 1950s": Hoffman–Pavley's deviation method
+(1959) is the ancestor of the Lawler–Murty / ANYK-PART family, and the
+Recursive Enumeration Algorithm (REA) of Jiménez–Marzal (after
+Dreyfus/Bellman–Kalaba's "k-th best policies") is the ancestor of ANYK-REC.
+
+This package implements both on weighted digraphs, plus the reduction the
+tutorial uses to connect the two worlds: the answers of a path *query* are
+exactly the s-t paths of a layered DAG, so :func:`path_query_as_graph`
+turns a path-query database into a graph on which the classic algorithms
+enumerate the same ranked results as the any-k machinery (cross-checked in
+the tests and benchmark E16).
+"""
+
+from repro.paths.graph import Digraph, path_query_as_graph
+from repro.paths.hoffman_pavley import hoffman_pavley
+from repro.paths.rea import recursive_enumeration
+
+__all__ = [
+    "Digraph",
+    "path_query_as_graph",
+    "hoffman_pavley",
+    "recursive_enumeration",
+]

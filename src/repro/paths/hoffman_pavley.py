@@ -1,0 +1,95 @@
+"""Hoffman–Pavley (1959): k-shortest paths by deviations.
+
+The ancestor of the Lawler–Murty any-k family (tutorial Part 3): after one
+reverse Dijkstra pass provides the cost-to-target potential h(v) and a
+shortest-path tree, every s-t path is encoded by where it *deviates* from
+the tree.  A priority queue over deviations pops paths in exact
+nondecreasing cost order; each popped path spawns one deviation per
+position along its tree suffix — precisely the partition scheme ANYK-PART
+applies to join solutions.
+
+Semantics: the algorithm enumerates s-t *walks* (nodes may repeat) that
+end at their first arrival at the target; on cyclic graphs the stream is
+infinite, so callers bound it with ``k`` or stop iterating.  Parallel
+edges are treated as distinct, so the layered-graph reduction of
+:mod:`repro.paths.graph` preserves bag semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Optional
+
+from repro.paths.graph import Digraph
+from repro.util.counters import Counters
+from repro.util.heaps import BinaryHeap
+
+
+def _tree_suffix(
+    graph: Digraph, node: Hashable, target: Hashable, h: dict[Hashable, float]
+) -> list[tuple[Hashable, int]]:
+    """Shortest-path-tree steps from ``node`` to ``target``.
+
+    Each step is ``(node, out_edge_index)``; the step list is empty when
+    ``node`` is already the target.
+    """
+    steps: list[tuple[Hashable, int]] = []
+    current = node
+    while current != target:
+        edges = graph.out_edges(current)
+        for index, (nxt, weight, _) in enumerate(edges):
+            if nxt in h and abs(weight + h[nxt] - h[current]) < 1e-12:
+                steps.append((current, index))
+                current = nxt
+                break
+        else:  # pragma: no cover - h guarantees a tree edge exists
+            raise RuntimeError("suffix reconstruction failed")
+    return steps
+
+
+def hoffman_pavley(
+    graph: Digraph,
+    source: Hashable,
+    target: Hashable,
+    k: Optional[int] = None,
+    counters: Optional[Counters] = None,
+) -> Iterator[tuple[list[Hashable], float]]:
+    """Yield s-t paths as ``(node_list, cost)`` in nondecreasing cost."""
+    h = graph.shortest_to(target)
+    if source not in h:
+        return
+
+    queue = BinaryHeap(counters)
+    # Candidate: exact prefix (node list ending at the deviation head) plus
+    # its cost; priority = prefix cost + h(last node) — the exact cost of
+    # the candidate's best completion.
+    queue.push(h[source], ([source], 0.0))
+
+    produced = 0
+    while queue:
+        cost, (prefix, prefix_cost) = queue.pop()
+        steps = _tree_suffix(graph, prefix[-1], target, h)
+        path = prefix[:-1] + [node for node, _ in steps] + [target]
+        if prefix[-1] == target:
+            path = list(prefix)
+        yield path, cost
+        produced += 1
+        if k is not None and produced >= k:
+            return
+
+        # Deviate at every suffix step: take any out-edge other than the
+        # tree edge the emitted path used there.
+        walked = prefix[:-1]
+        running_cost = prefix_cost
+        for node, used_index in steps:
+            edges = graph.out_edges(node)
+            for index, (nxt, weight, _) in enumerate(edges):
+                if counters is not None:
+                    counters.tuples_read += 1
+                if index == used_index or nxt not in h:
+                    continue
+                queue.push(
+                    running_cost + weight + h[nxt],
+                    (walked + [node, nxt], running_cost + weight),
+                )
+            walked = walked + [node]
+            running_cost += edges[used_index][1]

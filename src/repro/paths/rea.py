@@ -1,0 +1,232 @@
+"""REA — the Recursive Enumeration Algorithm for k-shortest paths.
+
+Jiménez–Marzal's formulation of the Dreyfus / Bellman–Kalaba "k-th best
+policy" recurrences (tutorial Part 3): the k-th shortest s→v path extends
+the j-th shortest s→u path by an edge (u, v), for some in-neighbour u and
+some j ≤ k.  Each node memoizes its ranked path list and a candidate heap
+over ``(in-edge, rank)`` pairs; asking for the next path at the target
+recursively forces exactly the prefixes it needs — the same memoized
+suffix-sharing structure as ANYK-REC over the T-DP (which the tutorial
+notes "appears to have been rediscovered" for conjunctive queries).
+
+Implementation note: successor candidates (the rank-(j+1) extension of a
+consumed rank-j prefix) are *deferred* — pushed only when the node is asked
+for its next rank — so that the recursive forcing never observes a node
+mid-initialization.  With strictly positive cycle weights every recursive
+request asks for a strictly cheaper, hence already materialized, path;
+zero-weight cycles (where "the k-th path" is degenerate) are out of scope.
+DAGs — including the layered path-query reduction — need no restriction.
+
+Semantics match :mod:`repro.paths.hoffman_pavley`: s-t walks in
+nondecreasing cost, parallel edges distinct, infinite streams possible on
+cyclic graphs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable, Iterator, Optional
+
+from repro.paths.graph import Digraph
+from repro.util.counters import Counters
+
+#: A ranked path entry: (cost, predecessor node, predecessor rank,
+#: predecessor out-edge index).  The source's rank-0 entry is
+#: (0.0, None, -1, -1).
+Entry = tuple[float, Optional[Hashable], int, int]
+
+
+class _NodeState:
+    """Ranked path list, candidate heap, and deferred-successor cursor."""
+
+    __slots__ = ("paths", "heap", "initialized", "successor_cursor")
+
+    def __init__(self) -> None:
+        self.paths: list[Entry] = []
+        self.heap: list[tuple[float, int, Hashable, int, int]] = []
+        self.initialized = False
+        #: paths[:successor_cursor] have had their successor pushed
+        self.successor_cursor = 0
+
+
+class REA:
+    """Recursive enumeration of s→v paths for all v, lazily and memoized."""
+
+    def __init__(
+        self,
+        graph: Digraph,
+        source: Hashable,
+        counters: Optional[Counters] = None,
+    ) -> None:
+        self.graph = graph
+        self.source = source
+        self.counters = counters
+        self._states: dict[Hashable, _NodeState] = {}
+        self._tick = 0
+        self._forward_dijkstra()
+
+    # ------------------------------------------------------------------
+    def _state(self, node: Hashable) -> _NodeState:
+        state = self._states.get(node)
+        if state is None:
+            state = _NodeState()
+            self._states[node] = state
+        return state
+
+    def _forward_dijkstra(self) -> None:
+        """Rank-0 (shortest) path per node, with predecessor pointers."""
+        dist: dict[Hashable, float] = {self.source: 0.0}
+        pred: dict[Hashable, tuple[Hashable, int]] = {}
+        heap: list[tuple[float, int, Hashable]] = [(0.0, 0, self.source)]
+        tick = 1
+        settled: set[Hashable] = set()
+        while heap:
+            d, _, node = heapq.heappop(heap)
+            if node in settled:
+                continue
+            settled.add(node)
+            for index, (nxt, weight, _) in enumerate(self.graph.out_edges(node)):
+                if weight < 0:
+                    raise ValueError("negative edge weights are not supported")
+                candidate = d + weight
+                if candidate < dist.get(nxt, float("inf")):
+                    dist[nxt] = candidate
+                    pred[nxt] = (node, index)
+                    heapq.heappush(heap, (candidate, tick, nxt))
+                    tick += 1
+        for node in settled:
+            state = self._state(node)
+            if node == self.source:
+                state.paths.append((0.0, None, -1, -1))
+            else:
+                predecessor, edge_index = pred[node]
+                state.paths.append((dist[node], predecessor, 0, edge_index))
+
+    # ------------------------------------------------------------------
+    def _push(
+        self,
+        state: _NodeState,
+        cost: float,
+        pred_node: Hashable,
+        rank: int,
+        edge_index: int,
+    ) -> None:
+        if self.counters is not None:
+            self.counters.heap_ops += 1
+        heapq.heappush(state.heap, (cost, self._tick, pred_node, rank, edge_index))
+        self._tick += 1
+
+    def _initialize_candidates(self, node: Hashable) -> None:
+        """Seed the heap with the rank-0 extension of every in-edge other
+        than the one the shortest path used.  Rank-0 predecessor paths all
+        exist already (Dijkstra), so initialization never recurses."""
+        state = self._state(node)
+        state.initialized = True
+        best = state.paths[0] if state.paths else None
+        occurrences: dict[Hashable, int] = {}
+        for pred_node, weight, _ in self.graph.in_edges(node):
+            occurrence = occurrences.get(pred_node, 0)
+            occurrences[pred_node] = occurrence + 1
+            out_index = self._out_index(pred_node, node, occurrence)
+            if (
+                best is not None
+                and best[1] == pred_node
+                and best[2] == 0
+                and best[3] == out_index
+            ):
+                continue  # the shortest path's own last step
+            pred_state = self._states.get(pred_node)
+            if pred_state is None or not pred_state.paths:
+                continue  # predecessor unreachable from the source
+            self._push(
+                state, pred_state.paths[0][0] + weight, pred_node, 0, out_index
+            )
+
+    def _out_index(
+        self, pred_node: Hashable, node: Hashable, occurrence: int
+    ) -> int:
+        """Out-edge index of the ``occurrence``-th (pred -> node) edge."""
+        count = 0
+        for index, (nxt, _, _) in enumerate(self.graph.out_edges(pred_node)):
+            if nxt == node:
+                if count == occurrence:
+                    return index
+                count += 1
+        raise RuntimeError("in/out edge lists inconsistent")  # pragma: no cover
+
+    def _edge_weight(self, node: Hashable, out_index: int) -> float:
+        return self.graph.out_edges(node)[out_index][1]
+
+    def _push_deferred_successors(self, node: Hashable) -> None:
+        """Push the rank-(j+1) successor of every consumed entry.
+
+        The cursor advances *before* the recursive forcing, so re-entrant
+        requests (positive-weight cycles) see a consistent state; by the
+        strictly-decreasing-cost argument they only ever need already
+        materialized ranks.
+        """
+        state = self._state(node)
+        while state.successor_cursor < len(state.paths):
+            entry = state.paths[state.successor_cursor]
+            state.successor_cursor += 1
+            _, pred_node, pred_rank, edge_index = entry
+            if pred_node is None:
+                continue  # the source's rank-0 entry has no predecessor
+            pred_entry = self.path_entry(pred_node, pred_rank + 1)
+            if pred_entry is None:
+                continue  # that in-edge's stream is exhausted
+            weight = self._edge_weight(pred_node, edge_index)
+            self._push(
+                state,
+                pred_entry[0] + weight,
+                pred_node,
+                pred_rank + 1,
+                edge_index,
+            )
+
+    def path_entry(self, node: Hashable, rank: int) -> Optional[Entry]:
+        """The rank-th shortest s→node path entry, produced on demand."""
+        state = self._state(node)
+        while len(state.paths) <= rank:
+            if not state.paths:
+                return None  # unreachable node
+            if not state.initialized:
+                self._initialize_candidates(node)
+            self._push_deferred_successors(node)
+            if not state.heap:
+                return None
+            if self.counters is not None:
+                self.counters.heap_ops += 1
+            cost, _, pred_node, pred_rank, edge_index = heapq.heappop(state.heap)
+            state.paths.append((cost, pred_node, pred_rank, edge_index))
+        return state.paths[rank]
+
+    def reconstruct(self, node: Hashable, rank: int) -> list[Hashable]:
+        """Node list of the rank-th shortest s→node path."""
+        entry = self.path_entry(node, rank)
+        if entry is None:
+            raise IndexError(f"node {node!r} has no rank-{rank} path")
+        reversed_nodes = [node]
+        while entry[1] is not None:
+            reversed_nodes.append(entry[1])
+            entry = self.path_entry(entry[1], entry[2])
+            assert entry is not None
+        return list(reversed(reversed_nodes))
+
+
+def recursive_enumeration(
+    graph: Digraph,
+    source: Hashable,
+    target: Hashable,
+    k: Optional[int] = None,
+    counters: Optional[Counters] = None,
+) -> Iterator[tuple[list[Hashable], float]]:
+    """Yield s-t paths as ``(node_list, cost)`` in nondecreasing cost."""
+    rea = REA(graph, source, counters=counters)
+    rank = 0
+    while k is None or rank < k:
+        entry = rea.path_entry(target, rank)
+        if entry is None:
+            return
+        yield rea.reconstruct(target, rank), entry[0]
+        rank += 1

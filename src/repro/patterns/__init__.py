@@ -1,0 +1,24 @@
+"""Any-k tree-pattern retrieval in labeled graphs (tutorial Part 3).
+
+The tutorial cites ranked tree-pattern matching — "Optimal enumeration:
+efficient top-k tree matching" and "Any-k: anytime top-k tree pattern
+retrieval in labeled graphs" — as the graph-search face of ranked
+enumeration.  This package closes the loop inside the library: a labeled
+graph and a rooted tree pattern compile into an *acyclic conjunctive query*
+(one edge atom per pattern edge, one zero-weight unary label atom per
+constrained pattern node), which the any-k machinery then enumerates in
+ranking order with all its guarantees intact.
+
+- :mod:`repro.patterns.graph` — labeled, weighted digraphs and their
+  relational encoding;
+- :mod:`repro.patterns.pattern` — rooted tree patterns and the compilation
+  to (database, query);
+- :mod:`repro.patterns.search` — ranked pattern search through
+  :func:`repro.anyk.api.rank_enumerate`.
+"""
+
+from repro.patterns.graph import LabeledGraph
+from repro.patterns.pattern import TreePattern
+from repro.patterns.search import find_patterns
+
+__all__ = ["LabeledGraph", "TreePattern", "find_patterns"]

@@ -1,0 +1,104 @@
+"""Labeled, weighted digraphs and their relational encoding.
+
+A :class:`LabeledGraph` is the data model of the tutorial's tree-pattern
+references: nodes carry a label (e.g. protein family, job title), directed
+edges carry a weight (lower = stronger/cheaper).  ``to_database`` encodes
+it relationally: one binary edge relation ``E(src, dst)`` with the edge
+weights, and one unary relation ``L_<label>(node)`` per label with zero
+weights — so pattern matches rank purely by their edge weights.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, Iterable, Optional
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+
+
+def label_relation_name(label: str) -> str:
+    """Relation name of a node label (``L_<label>``)."""
+    return f"L_{label}"
+
+
+class LabeledGraph:
+    """Nodes with labels, directed weighted edges."""
+
+    def __init__(self) -> None:
+        self._labels: dict[Hashable, str] = {}
+        self._edges: list[tuple[Hashable, Hashable, float]] = []
+        self._out: dict[Hashable, list[tuple[Hashable, float]]] = {}
+
+    def add_node(self, node: Hashable, label: str) -> None:
+        """Register a node with its label (re-labelling is an error)."""
+        existing = self._labels.get(node)
+        if existing is not None and existing != label:
+            raise ValueError(
+                f"node {node!r} already has label {existing!r}, got {label!r}"
+            )
+        self._labels[node] = label
+        self._out.setdefault(node, [])
+
+    def add_edge(self, source: Hashable, target: Hashable, weight: float) -> None:
+        """Add a directed edge; endpoints must be labeled already."""
+        for endpoint in (source, target):
+            if endpoint not in self._labels:
+                raise ValueError(f"node {endpoint!r} has no label yet")
+        self._edges.append((source, target, float(weight)))
+        self._out[source].append((target, float(weight)))
+
+    def label_of(self, node: Hashable) -> str:
+        return self._labels[node]
+
+    def nodes(self) -> Iterable[Hashable]:
+        return self._labels.keys()
+
+    def labels(self) -> set[str]:
+        return set(self._labels.values())
+
+    def out_edges(self, node: Hashable) -> list[tuple[Hashable, float]]:
+        return self._out.get(node, [])
+
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def to_database(self) -> Database:
+        """Relational encoding: E(src, dst) + one L_<label>(node) each."""
+        edge_relation = Relation("E", ("src", "dst"))
+        for source, target, weight in self._edges:
+            edge_relation.add((source, target), weight)
+        db = Database([edge_relation])
+        by_label: dict[str, list[Hashable]] = {}
+        for node, label in self._labels.items():
+            by_label.setdefault(label, []).append(node)
+        for label, nodes in sorted(by_label.items(), key=lambda kv: kv[0]):
+            relation = Relation(label_relation_name(label), ("node",))
+            for node in sorted(nodes, key=repr):
+                relation.add((node,), 0.0)
+            db.add(relation)
+        return db
+
+
+def random_labeled_graph(
+    num_nodes: int,
+    num_edges: int,
+    labels: tuple[str, ...] = ("A", "B", "C"),
+    seed: int = 0,
+) -> LabeledGraph:
+    """A random labeled graph for tests and benchmarks (deterministic)."""
+    rng = random.Random(seed)
+    graph = LabeledGraph()
+    for i in range(num_nodes):
+        graph.add_node(i, rng.choice(labels))
+    seen: set[tuple[int, int]] = set()
+    attempts = 0
+    while len(seen) < num_edges and attempts < 50 * num_edges + 100:
+        attempts += 1
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u == v or (u, v) in seen:
+            continue
+        seen.add((u, v))
+        graph.add_edge(u, v, rng.random())
+    return graph

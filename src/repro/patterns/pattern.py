@@ -1,0 +1,108 @@
+"""Rooted tree patterns and their compilation to conjunctive queries.
+
+A :class:`TreePattern` is a rooted tree whose nodes optionally constrain
+the label of the graph node they match; edges are directed parent → child
+(matching the graph's edge direction).  Matches are *homomorphisms* —
+distinct pattern nodes may map to the same graph node — consistent with
+the conjunctive-query semantics used throughout the library (and with the
+paper's footnote 2 on degenerate matches).
+
+``compile_to_query`` produces the acyclic CQ: one ``E(x_parent, x_child)``
+atom per pattern edge and one unary ``L_<label>(x_node)`` atom per labeled
+pattern node, over the graph's relational encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.data.database import Database
+from repro.patterns.graph import LabeledGraph, label_relation_name
+from repro.query.cq import Atom, ConjunctiveQuery, QueryError
+
+
+@dataclass
+class PatternNode:
+    """One pattern node: an identifier plus an optional label constraint."""
+
+    name: str
+    label: Optional[str] = None
+    children: list["PatternNode"] = field(default_factory=list)
+
+
+class TreePattern:
+    """A rooted tree pattern built fluently via :meth:`add_child`."""
+
+    def __init__(self, root_name: str, root_label: Optional[str] = None) -> None:
+        self.root = PatternNode(root_name, root_label)
+        self._nodes: dict[str, PatternNode] = {root_name: self.root}
+
+    def add_child(
+        self, parent_name: str, child_name: str, child_label: Optional[str] = None
+    ) -> "TreePattern":
+        """Attach a new node under ``parent_name``; returns self."""
+        if child_name in self._nodes:
+            raise QueryError(f"pattern already has a node {child_name!r}")
+        parent = self._nodes.get(parent_name)
+        if parent is None:
+            raise QueryError(f"pattern has no node {parent_name!r}")
+        child = PatternNode(child_name, child_label)
+        parent.children.append(child)
+        self._nodes[child_name] = child
+        return self
+
+    def node_names(self) -> list[str]:
+        """Pattern node names in DFS pre-order."""
+        order: list[str] = []
+
+        def visit(node: PatternNode) -> None:
+            order.append(node.name)
+            for child in node.children:
+                visit(child)
+
+        visit(self.root)
+        return order
+
+    def num_edges(self) -> int:
+        return len(self.node_names()) - 1
+
+    def variable_of(self, node_name: str) -> str:
+        """The query variable standing for a pattern node."""
+        if node_name not in self._nodes:
+            raise QueryError(f"pattern has no node {node_name!r}")
+        return f"x_{node_name}"
+
+    def compile_to_query(self, graph: LabeledGraph) -> ConjunctiveQuery:
+        """The acyclic CQ whose answers are this pattern's matches.
+
+        Raises :class:`QueryError` if a constrained label does not occur
+        in the graph at all (no possible match — fail early and loudly).
+        """
+        atoms: list[Atom] = []
+
+        def visit(node: PatternNode) -> None:
+            if node.label is not None:
+                if node.label not in graph.labels():
+                    raise QueryError(
+                        f"label {node.label!r} (pattern node {node.name!r}) "
+                        "does not occur in the graph"
+                    )
+                atoms.append(
+                    Atom(label_relation_name(node.label), (self.variable_of(node.name),))
+                )
+            for child in node.children:
+                atoms.append(
+                    Atom(
+                        "E",
+                        (self.variable_of(node.name), self.variable_of(child.name)),
+                    )
+                )
+                visit(child)
+
+        visit(self.root)
+        if not any(atom.relation == "E" for atom in atoms):
+            # A single-node pattern: matches are just labeled nodes.
+            if not atoms:
+                raise QueryError("pattern must constrain something")
+        return ConjunctiveQuery(atoms, name="TreePattern")

@@ -1,0 +1,53 @@
+"""Ranked tree-pattern search: glue between patterns and any-k.
+
+``find_patterns`` compiles the pattern, encodes the graph, and hands both
+to :func:`repro.anyk.api.rank_enumerate`; each emitted row is translated
+back to a mapping from pattern node names to graph nodes.  All any-k
+methods and ranking functions are available; the weight of a match is the
+ranking combination of its matched edges' weights (label atoms weigh the
+ranking's identity).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterator, Optional
+
+from repro.anyk.api import rank_enumerate
+from repro.anyk.ranking import RankingFunction, SUM
+from repro.patterns.graph import LabeledGraph
+from repro.patterns.pattern import TreePattern
+from repro.util.counters import Counters
+
+
+def find_patterns(
+    graph: LabeledGraph,
+    pattern: TreePattern,
+    k: Optional[int] = None,
+    method: str = "part:lazy",
+    ranking: RankingFunction = SUM,
+    counters: Optional[Counters] = None,
+) -> Iterator[tuple[dict[str, Hashable], Any]]:
+    """Yield ``(match, weight)`` pairs in nondecreasing weight order.
+
+    ``match`` maps each pattern node name to the graph node it matches
+    (homomorphism semantics — distinct pattern nodes may coincide).
+    """
+    query = pattern.compile_to_query(graph)
+    db = graph.to_database()
+    positions = {
+        name: query.variables.index(pattern.variable_of(name))
+        for name in pattern.node_names()
+    }
+    for row, weight in rank_enumerate(
+        db, query, ranking=ranking, method=method, k=k, counters=counters
+    ):
+        yield {name: row[p] for name, p in positions.items()}, weight
+
+
+def count_matches(graph: LabeledGraph, pattern: TreePattern) -> int:
+    """Number of matches without enumerating them (factorized COUNT)."""
+    from repro.factorized import FactorizedRepresentation, count_results
+
+    query = pattern.compile_to_query(graph)
+    frep = FactorizedRepresentation(graph.to_database(), query)
+    return count_results(frep)

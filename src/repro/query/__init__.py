@@ -1,0 +1,42 @@
+"""Query model: conjunctive queries, hypergraphs, bounds, decompositions.
+
+The tutorial works with *full conjunctive queries* (natural joins, no
+projection): graph patterns like triangles and 4-cycles are self-joins over
+an edge relation (§1).  This package provides:
+
+- :mod:`repro.query.cq` — the query AST and builders for the tutorial's
+  running examples (paths, stars, triangles, length-k cycles);
+- :mod:`repro.query.hypergraph` — query hypergraphs, GYO reduction,
+  acyclicity testing and join-tree extraction (the substrate for Yannakakis
+  and the any-k T-DP);
+- :mod:`repro.query.agm` — fractional edge covers and the AGM output-size
+  bound (§3) via linear programming;
+- :mod:`repro.query.decomposition` — tree decompositions / generalized
+  hypertree decompositions for cyclic queries, plus the heavy/light
+  union-of-trees constructions behind the submodular-width O(n^1.5)
+  4-cycle result the tutorial highlights.
+"""
+
+from repro.query.cq import (
+    Atom,
+    ConjunctiveQuery,
+    QueryError,
+    cycle_query,
+    path_query,
+    star_query,
+    triangle_query,
+)
+from repro.query.hypergraph import Hypergraph, JoinTree, gyo_reduction
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "QueryError",
+    "path_query",
+    "star_query",
+    "triangle_query",
+    "cycle_query",
+    "Hypergraph",
+    "JoinTree",
+    "gyo_reduction",
+]

@@ -1,0 +1,172 @@
+"""Full conjunctive queries (natural joins) and standard query builders.
+
+A query is a list of :class:`Atom` objects; each atom names a relation in
+the database and binds that relation's columns to query variables.  Repeating
+a relation name across atoms expresses a self-join, which is how all the
+tutorial's graph-pattern queries (triangles, 4-cycles, paths in a graph) are
+written over a single edge relation E(src, dst).
+
+Queries here are *full*: every variable appears in the output.  This matches
+the setting of the tutorial's Part 3 (ranked enumeration for full conjunctive
+queries); projections change the complexity landscape (§1) and are out of
+scope, as they are for most of the work the tutorial surveys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.data.database import Database
+
+
+class QueryError(ValueError):
+    """Raised for queries inconsistent with themselves or a database."""
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One relational atom: ``relation(variables...)``.
+
+    The same variable may repeat within an atom (e.g. ``E(x, x)`` for
+    self-loops); join semantics then require equal column values.
+    """
+
+    relation: str
+    variables: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            raise QueryError(f"atom over {self.relation!r} has no variables")
+        object.__setattr__(self, "variables", tuple(self.variables))
+
+    @property
+    def variable_set(self) -> frozenset[str]:
+        """The set of distinct variables in this atom."""
+        return frozenset(self.variables)
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.variables)})"
+
+
+class ConjunctiveQuery:
+    """A full conjunctive query: the natural join of its atoms.
+
+    Output schema: all distinct variables, in order of first appearance.
+    The output weight of a result is the ranking-function combination of
+    the weights of the participating input tuples (one per atom).
+    """
+
+    def __init__(self, atoms: Iterable[Atom], name: str = "Q") -> None:
+        self.atoms: tuple[Atom, ...] = tuple(atoms)
+        self.name = name
+        if not self.atoms:
+            raise QueryError("query must have at least one atom")
+        seen: list[str] = []
+        for atom in self.atoms:
+            for variable in atom.variables:
+                if variable not in seen:
+                    seen.append(variable)
+        self.variables: tuple[str, ...] = tuple(seen)
+
+    def __len__(self) -> int:
+        return len(self.atoms)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(atom) for atom in self.atoms)
+        return f"{self.name}({', '.join(self.variables)}) :- {body}"
+
+    def __repr__(self) -> str:
+        return f"ConjunctiveQuery({str(self)!r})"
+
+    def validate(self, db: Database) -> None:
+        """Check every atom against the catalog (existence and arity)."""
+        for atom in self.atoms:
+            if atom.relation not in db:
+                raise QueryError(
+                    f"query {self.name!r} references unknown relation "
+                    f"{atom.relation!r}"
+                )
+            relation = db[atom.relation]
+            if len(atom.variables) != relation.arity:
+                raise QueryError(
+                    f"atom {atom} has {len(atom.variables)} variables but "
+                    f"relation {atom.relation!r} has arity {relation.arity}"
+                )
+
+    def atom_variable_positions(self, atom_index: int) -> dict[str, list[int]]:
+        """Variable -> column positions within the given atom."""
+        atom = self.atoms[atom_index]
+        positions: dict[str, list[int]] = {}
+        for pos, variable in enumerate(atom.variables):
+            positions.setdefault(variable, []).append(pos)
+        return positions
+
+    def variables_of(self, atom_indexes: Iterable[int]) -> frozenset[str]:
+        """Union of variable sets of the given atoms."""
+        out: set[str] = set()
+        for index in atom_indexes:
+            out |= self.atoms[index].variable_set
+        return frozenset(out)
+
+
+# ----------------------------------------------------------------------
+# Builders for the tutorial's running example queries
+# ----------------------------------------------------------------------
+def path_query(length: int, name: str = "Path") -> ConjunctiveQuery:
+    """R1(A1,A2) ⋈ R2(A2,A3) ⋈ ... — the acyclic chain query."""
+    if length < 1:
+        raise QueryError("path length must be >= 1")
+    atoms = [
+        Atom(f"R{i}", (f"A{i}", f"A{i + 1}")) for i in range(1, length + 1)
+    ]
+    return ConjunctiveQuery(atoms, name=name)
+
+
+def star_query(arms: int, name: str = "Star") -> ConjunctiveQuery:
+    """R1(A0,A1) ⋈ ... ⋈ R_arms(A0,A_arms) — the acyclic star query."""
+    if arms < 1:
+        raise QueryError("star must have >= 1 arms")
+    atoms = [Atom(f"R{i}", ("A0", f"A{i}")) for i in range(1, arms + 1)]
+    return ConjunctiveQuery(atoms, name=name)
+
+
+def triangle_query(
+    relations: Sequence[str] = ("R", "S", "T"), name: str = "Triangle"
+) -> ConjunctiveQuery:
+    """R(A,B) ⋈ S(B,C) ⋈ T(C,A) — the canonical cyclic query of §3."""
+    if len(relations) != 3:
+        raise QueryError("triangle query needs exactly 3 relation names")
+    r, s, t = relations
+    atoms = [Atom(r, ("A", "B")), Atom(s, ("B", "C")), Atom(t, ("C", "A"))]
+    return ConjunctiveQuery(atoms, name=name)
+
+
+def cycle_query(
+    length: int, relation: str = "E", name: str | None = None
+) -> ConjunctiveQuery:
+    """Length-``length`` cycle as a self-join over an edge relation.
+
+    E(x1,x2) ⋈ E(x2,x3) ⋈ ... ⋈ E(x_length, x1) — for ``length == 4`` this
+    is the introduction's "top-k lightest 4-cycles" query.  Degenerate
+    cycles (repeated nodes) are included, matching the paper's footnote 2.
+    """
+    if length < 2:
+        raise QueryError("cycle length must be >= 2")
+    atoms = [
+        Atom(relation, (f"x{i}", f"x{(i % length) + 1}"))
+        for i in range(1, length + 1)
+    ]
+    return ConjunctiveQuery(atoms, name=name or f"Cycle{length}")
+
+
+def path_graph_query(
+    length: int, relation: str = "E", name: str | None = None
+) -> ConjunctiveQuery:
+    """Length-``length`` path as a self-join over an edge relation."""
+    if length < 1:
+        raise QueryError("path length must be >= 1")
+    atoms = [
+        Atom(relation, (f"x{i}", f"x{i + 1}")) for i in range(1, length + 1)
+    ]
+    return ConjunctiveQuery(atoms, name=name or f"GraphPath{length}")

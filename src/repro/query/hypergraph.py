@@ -1,0 +1,208 @@
+"""Query hypergraphs, GYO reduction, acyclicity, join trees.
+
+The hypergraph of a conjunctive query has the query variables as vertices
+and one hyperedge per atom (§3 of the tutorial).  α-acyclicity — the
+property that makes Yannakakis' O~(n + r) algorithm applicable — is decided
+by the classic GYO (Graham / Yu–Özsoyoğlu) ear-removal procedure, which as a
+by-product yields a *join tree*: a tree over the atoms such that for every
+variable, the atoms containing it form a connected subtree (the running
+intersection property).
+
+The join tree is the shared substrate of half this library: Yannakakis'
+algorithm runs semijoins along its edges, and the any-k T-DP of Part 3 turns
+it into a dynamic program whose solutions are the query answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.query.cq import ConjunctiveQuery, QueryError
+
+
+class Hypergraph:
+    """Vertices = query variables, hyperedges = atom variable sets."""
+
+    def __init__(self, query: ConjunctiveQuery) -> None:
+        self.query = query
+        self.vertices: tuple[str, ...] = query.variables
+        self.edges: tuple[frozenset[str], ...] = tuple(
+            atom.variable_set for atom in query.atoms
+        )
+
+    def incident_edges(self, variable: str) -> list[int]:
+        """Indices of atoms whose variable set contains ``variable``."""
+        return [i for i, edge in enumerate(self.edges) if variable in edge]
+
+    def primal_neighbors(self) -> dict[str, set[str]]:
+        """The primal (Gaifman) graph: variables co-occurring in an atom."""
+        adjacency: dict[str, set[str]] = {v: set() for v in self.vertices}
+        for edge in self.edges:
+            for u in edge:
+                adjacency[u] |= edge - {u}
+        return adjacency
+
+    def is_connected(self) -> bool:
+        """True if the hypergraph (as a primal graph) is connected."""
+        if not self.vertices:
+            return True
+        adjacency = self.primal_neighbors()
+        seen = {self.vertices[0]}
+        frontier = [self.vertices[0]]
+        while frontier:
+            node = frontier.pop()
+            for neighbor in adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return len(seen) == len(self.vertices)
+
+
+@dataclass
+class JoinTree:
+    """A rooted join tree over atom indices of a query.
+
+    ``parent[root] is None``; every other atom points to its tree parent.
+    ``order`` lists atoms root-first (BFS), which is the stage order used by
+    the T-DP and the top-down pass of Yannakakis.
+    """
+
+    query: ConjunctiveQuery
+    root: int
+    parent: dict[int, Optional[int]]
+    children: dict[int, list[int]] = field(default_factory=dict)
+    order: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            self.children = {i: [] for i in self.parent}
+            for node, par in self.parent.items():
+                if par is not None:
+                    self.children[par].append(node)
+        if not self.order:
+            self.order = []
+            frontier = [self.root]
+            while frontier:
+                node = frontier.pop(0)
+                self.order.append(node)
+                frontier.extend(self.children[node])
+
+    def edge_join_variables(self, child: int) -> frozenset[str]:
+        """Variables shared between ``child`` and its parent atom."""
+        par = self.parent[child]
+        if par is None:
+            return frozenset()
+        return (
+            self.query.atoms[child].variable_set
+            & self.query.atoms[par].variable_set
+        )
+
+    def leaves(self) -> list[int]:
+        """Atom indices with no children."""
+        return [node for node, kids in self.children.items() if not kids]
+
+    def satisfies_running_intersection(self) -> bool:
+        """Check the defining property of join trees (used by tests).
+
+        For every variable, the set of tree nodes whose atom contains it
+        must induce a connected subtree.
+        """
+        for variable in self.query.variables:
+            holders = {
+                i
+                for i, atom in enumerate(self.query.atoms)
+                if variable in atom.variable_set
+            }
+            if not holders:
+                continue
+            # Walk up from each holder; the meeting structure is connected
+            # iff climbing from any holder stays within holders until the
+            # unique topmost holder is reached.
+            topmost = set()
+            for node in holders:
+                current = node
+                while (
+                    self.parent[current] is not None
+                    and self.parent[current] in holders
+                ):
+                    current = self.parent[current]
+                topmost.add(current)
+            if len(topmost) != 1:
+                return False
+        return True
+
+
+def gyo_reduction(query: ConjunctiveQuery) -> Optional[JoinTree]:
+    """GYO ear removal.  Returns a join tree, or ``None`` if cyclic.
+
+    An atom is an *ear* if every variable it shares with the rest of the
+    query is contained in a single other atom (the *witness*, which becomes
+    its join-tree parent).  Repeatedly removing ears empties the atom list
+    exactly when the query is α-acyclic.
+    """
+    atom_count = len(query.atoms)
+    alive = set(range(atom_count))
+    parent: dict[int, Optional[int]] = {}
+    removal_order: list[int] = []
+
+    while len(alive) > 1:
+        ear = None
+        witness = None
+        for candidate in sorted(alive):
+            cand_vars = query.atoms[candidate].variable_set
+            others = [i for i in alive if i != candidate]
+            shared = cand_vars & query.variables_of(others)
+            # A witness must contain all variables the candidate shares
+            # with the remainder of the query.
+            for other in others:
+                if shared <= query.atoms[other].variable_set:
+                    ear, witness = candidate, other
+                    break
+            if ear is not None:
+                break
+        if ear is None:
+            return None  # no ear: the query is cyclic
+        parent[ear] = witness
+        removal_order.append(ear)
+        alive.remove(ear)
+
+    root = next(iter(alive))
+    parent[root] = None
+    return JoinTree(query=query, root=root, parent=parent)
+
+
+def is_acyclic(query: ConjunctiveQuery) -> bool:
+    """True iff the query is α-acyclic (GYO reduction succeeds)."""
+    return gyo_reduction(query) is not None
+
+
+def join_tree_or_raise(query: ConjunctiveQuery) -> JoinTree:
+    """Join tree of an acyclic query; raises :class:`QueryError` if cyclic."""
+    tree = gyo_reduction(query)
+    if tree is None:
+        raise QueryError(
+            f"query {query.name!r} is cyclic; use a decomposition "
+            "(repro.query.decomposition) to rewrite it first"
+        )
+    return tree
+
+
+def connected_components(query: ConjunctiveQuery) -> list[list[int]]:
+    """Atom indices grouped by connected component of the hypergraph."""
+    remaining = set(range(len(query.atoms)))
+    components: list[list[int]] = []
+    while remaining:
+        seed = min(remaining)
+        component = {seed}
+        frontier = [seed]
+        while frontier:
+            node = frontier.pop()
+            node_vars = query.atoms[node].variable_set
+            for other in list(remaining - component):
+                if node_vars & query.atoms[other].variable_set:
+                    component.add(other)
+                    frontier.append(other)
+        components.append(sorted(component))
+        remaining -= component
+    return components

@@ -1,0 +1,43 @@
+"""Top-k algorithms for join queries (tutorial Part 1).
+
+Two families are implemented, matching the tutorial's structure:
+
+**Middleware / top-k selection** (:mod:`repro.topk.access`,
+:mod:`repro.topk.fagin`, :mod:`repro.topk.threshold`,
+:mod:`repro.topk.nra`): a single conceptual table vertically partitioned
+into scored lists, each supporting sorted and (except NRA) random access.
+Costs are counted in the access model in which TA's instance optimality is
+stated — and the same runs also report RAM-model counters, the tutorial's
+methodological point.
+
+**Rank joins** (:mod:`repro.topk.rank_join`): HRJN-style binary operators
+over inputs sorted by weight, composable into left-deep plans, with the
+corner-bound threshold that lets them stop early when the top answers come
+from the top of the inputs.
+
+Convention note: the middleware algorithms follow the top-k literature and
+maximize *scores* (higher = better); the rank joins follow the rest of this
+library and minimize *weights* (lower = better), matching the "lightest
+4-cycles" framing.  ``score = -weight`` converts between them.
+"""
+
+from repro.topk.access import VerticalSource
+from repro.topk.ca import combined_algorithm
+from repro.topk.fagin import fagins_algorithm
+from repro.topk.jstar import jstar_stream, jstar_topk
+from repro.topk.nra import nra
+from repro.topk.rank_join import HRJN, RelationScan, rank_join_topk
+from repro.topk.threshold import threshold_algorithm
+
+__all__ = [
+    "VerticalSource",
+    "fagins_algorithm",
+    "threshold_algorithm",
+    "nra",
+    "combined_algorithm",
+    "HRJN",
+    "RelationScan",
+    "rank_join_topk",
+    "jstar_stream",
+    "jstar_topk",
+]

@@ -1,0 +1,142 @@
+"""The middleware access model of Fagin, Lotem and Naor (tutorial Part 1).
+
+A conceptual table is vertically partitioned into m scored lists, each
+managed by an external source that can serve
+
+- *sorted access*: the next (object, score) pair in descending score order;
+- *random access*: the score of a given object in a given list.
+
+The Threshold Algorithm's celebrated instance optimality holds in the cost
+model that counts exactly these two operations ("the actual computation is
+essentially free" — §1).  :class:`VerticalSource` simulates the sources
+in-memory and counts both access kinds in a
+:class:`~repro.util.counters.Counters`, so experiments E4/E5 can report the
+access-model cost next to RAM-model work.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Optional, Sequence
+
+from repro.util.counters import Counters
+
+Aggregate = Callable[[Sequence[float]], float]
+
+
+def sum_aggregate(scores: Sequence[float]) -> float:
+    """Default monotone aggregation: the sum of the list scores."""
+    return float(sum(scores))
+
+
+def min_aggregate(scores: Sequence[float]) -> float:
+    """Bottleneck aggregation (also monotone)."""
+    return float(min(scores))
+
+
+class VerticalSource:
+    """m sorted lists over a shared object universe, with access counting.
+
+    Parameters
+    ----------
+    lists:
+        One list per partition: ``(object_id, score)`` pairs sorted by
+        descending score.  Every object must appear in every list (the
+        standard completeness assumption of the TA setting); this is
+        validated at construction.
+    counters:
+        Optional counter sink; ``sorted_accesses`` / ``random_accesses``
+        are incremented per operation.
+    """
+
+    def __init__(
+        self,
+        lists: Sequence[Sequence[tuple[Hashable, float]]],
+        counters: Optional[Counters] = None,
+    ) -> None:
+        if not lists:
+            raise ValueError("need at least one list")
+        self._lists = [list(column) for column in lists]
+        universe = {obj for obj, _ in self._lists[0]}
+        for j, column in enumerate(self._lists):
+            if {obj for obj, _ in column} != universe:
+                raise ValueError(
+                    f"list {j} covers a different object set; the TA model "
+                    "assumes complete lists"
+                )
+            for (_, a), (_, b) in zip(column, column[1:]):
+                if a < b:
+                    raise ValueError(f"list {j} is not sorted by descending score")
+        self._random_index = [
+            {obj: score for obj, score in column} for column in self._lists
+        ]
+        self._cursors = [0] * len(self._lists)
+        self.counters = counters if counters is not None else Counters()
+
+    @property
+    def num_lists(self) -> int:
+        """m — the number of vertical partitions."""
+        return len(self._lists)
+
+    @property
+    def num_objects(self) -> int:
+        """Size of the object universe."""
+        return len(self._lists[0])
+
+    def depth(self, list_index: int) -> int:
+        """How far sorted access has descended into list ``list_index``."""
+        return self._cursors[list_index]
+
+    def exhausted(self, list_index: int) -> bool:
+        """True when sorted access has consumed the whole list."""
+        return self._cursors[list_index] >= len(self._lists[list_index])
+
+    def sorted_next(self, list_index: int) -> Optional[tuple[Hashable, float]]:
+        """Sorted access: next pair from list ``list_index`` (or None)."""
+        cursor = self._cursors[list_index]
+        column = self._lists[list_index]
+        if cursor >= len(column):
+            return None
+        self.counters.sorted_accesses += 1
+        self._cursors[list_index] = cursor + 1
+        return column[cursor]
+
+    def last_seen_score(self, list_index: int) -> float:
+        """Score at the current sorted-access frontier of the list.
+
+        Before any sorted access this is the list's top score (the best any
+        unseen object could have).
+        """
+        cursor = self._cursors[list_index]
+        column = self._lists[list_index]
+        if cursor == 0:
+            return column[0][1] if column else float("-inf")
+        return column[min(cursor, len(column)) - 1][1]
+
+    def random_access(self, list_index: int, obj: Hashable) -> float:
+        """Random access: the score of ``obj`` in list ``list_index``."""
+        self.counters.random_accesses += 1
+        try:
+            return self._random_index[list_index][obj]
+        except KeyError as exc:
+            raise KeyError(
+                f"object {obj!r} not present in list {list_index}"
+            ) from exc
+
+    def reset(self) -> None:
+        """Rewind all sorted-access cursors (counters are left alone)."""
+        self._cursors = [0] * len(self._lists)
+
+    def brute_force_topk(self, k: int, aggregate: Aggregate = sum_aggregate):
+        """Oracle top-k by scanning everything (for tests); not counted."""
+        universe = [obj for obj, _ in self._lists[0]]
+        scored = [
+            (
+                aggregate(
+                    [self._random_index[j][obj] for j in range(self.num_lists)]
+                ),
+                obj,
+            )
+            for obj in universe
+        ]
+        scored.sort(key=lambda pair: (-pair[0], repr(pair[1])))
+        return [(obj, score) for score, obj in scored[:k]]

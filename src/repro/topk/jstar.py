@@ -1,0 +1,147 @@
+"""J* — A*-style incremental join over ranked inputs (tutorial Part 1).
+
+Natsev et al.'s J* algorithm treats a top-k join as a search problem: a
+state is a partial assignment of one tuple per input stream, its priority
+is the weight of the assigned tuples plus an *admissible* bound — the head
+(minimum) weight of every unassigned stream — and a global priority queue
+explores states best-first.  Complete consistent states pop in exact
+ranking order, which makes J* an anytime ranked-enumeration operator like
+HRJN, but "holistic": one queue over all streams rather than a binary
+operator tree.
+
+States here bind streams in a fixed order and carry a cursor into the
+current stream, so each pop expands into at most two successors (bind the
+cursor's tuple, or advance the cursor) — the standard lazy formulation.
+The tutorial's RAM-model caveat applies unchanged: on anti-correlated
+inputs or cyclic queries, J* explores (and buffers) states proportional to
+intermediate-result sizes.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Callable, Iterator, Optional
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.joins.base import atom_relation
+from repro.query.cq import ConjunctiveQuery
+from repro.util.counters import Counters
+from repro.util.heaps import BinaryHeap
+
+
+def jstar_stream(
+    db: Database,
+    query: ConjunctiveQuery,
+    counters: Optional[Counters] = None,
+    combine: Callable[[float, float], float] = operator.add,
+    order: Optional[list[int]] = None,
+) -> Iterator[tuple[tuple, float]]:
+    """Enumerate ``(row, weight)`` in nondecreasing weight order via J*.
+
+    ``order`` fixes the stream binding order (defaults to query order).
+    Weight combination must be monotone for the bound to stay admissible.
+    """
+    query.validate(db)
+    order = list(order) if order is not None else list(range(len(query.atoms)))
+    streams: list[Relation] = [
+        atom_relation(db, query, i).sorted_by_weight() for i in order
+    ]
+    if any(len(s) == 0 for s in streams):
+        return
+    num_streams = len(streams)
+    #: optimistic completion: combine of head weights of streams j..end
+    tail_bound = [0.0] * (num_streams + 1)
+    tail_bound[num_streams] = 0.0
+    for j in range(num_streams - 1, -1, -1):
+        head = streams[j].weights[0]
+        tail_bound[j] = (
+            head if j == num_streams - 1 else combine(head, tail_bound[j + 1])
+        )
+
+    # Variable binding bookkeeping per stream.
+    schemas = [s.schema for s in streams]
+
+    def compatible(bound_rows: tuple, j: int, row: tuple) -> bool:
+        binding = {}
+        for row_index in range(len(bound_rows)):
+            for variable, value in zip(schemas[row_index], bound_rows[row_index]):
+                binding[variable] = value
+        for variable, value in zip(schemas[j], row):
+            if variable in binding and binding[variable] != value:
+                if counters is not None:
+                    counters.comparisons += 1
+                return False
+        return True
+
+    def priority(weight_so_far: float, j: int, cursor: int) -> float:
+        candidate = streams[j].weights[cursor]
+        value = (
+            combine(weight_so_far, candidate) if j > 0 else candidate
+        )
+        if j + 1 < num_streams:
+            value = combine(value, tail_bound[j + 1])
+        return value
+
+    heap = BinaryHeap(counters)
+    # State: (bound_rows, weight_so_far, stream j, cursor into stream j).
+    heap.push(priority(0.0, 0, 0), ((), 0.0, 0, 0))
+
+    out_schema: list[str] = []
+    for schema in schemas:
+        for variable in schema:
+            if variable not in out_schema:
+                out_schema.append(variable)
+    out_positions = [out_schema.index(v) for v in query.variables]
+
+    while heap:
+        _, (bound_rows, weight_so_far, j, cursor) = heap.pop()
+        stream = streams[j]
+        row = stream.rows[cursor]
+        row_weight = stream.weights[cursor]
+        if counters is not None:
+            counters.tuples_read += 1
+
+        # Successor 1: advance the cursor within stream j.
+        if cursor + 1 < len(stream):
+            heap.push(
+                priority(weight_so_far, j, cursor + 1),
+                (bound_rows, weight_so_far, j, cursor + 1),
+            )
+
+        # Successor 2: bind this tuple if consistent with the prefix.
+        if not compatible(bound_rows, j, row):
+            continue
+        new_weight = combine(weight_so_far, row_weight) if j > 0 else row_weight
+        new_rows = bound_rows + (row,)
+        if j + 1 == num_streams:
+            flat: list = [None] * len(out_schema)
+            for row_index in range(num_streams):
+                for variable, value in zip(schemas[row_index], new_rows[row_index]):
+                    flat[out_schema.index(variable)] = value
+            if counters is not None:
+                counters.output_tuples += 1
+            yield tuple(flat[p] for p in out_positions), new_weight
+        else:
+            heap.push(
+                priority(new_weight, j + 1, 0),
+                (new_rows, new_weight, j + 1, 0),
+            )
+
+
+def jstar_topk(
+    db: Database,
+    query: ConjunctiveQuery,
+    k: int,
+    counters: Optional[Counters] = None,
+    combine: Callable[[float, float], float] = operator.add,
+) -> list[tuple[tuple, float]]:
+    """The k lightest join results via J*."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    results = []
+    for item in jstar_stream(db, query, counters=counters, combine=combine):
+        results.append(item)
+        if len(results) == k:
+            break
+    return results

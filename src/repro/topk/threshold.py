@@ -1,0 +1,66 @@
+"""The Threshold Algorithm (TA) of Fagin, Lotem and Naor (tutorial Part 1).
+
+TA interleaves sorted and random access: each object delivered by sorted
+access is immediately completed by random access to all other lists; the
+algorithm stops as soon as the k-th best complete score reaches the
+*threshold* τ — the aggregate of the current sorted-access frontiers, an
+upper bound on the score of any unseen object.  TA is instance-optimal
+among algorithms using the same access operations (2014 Gödel Prize); its
+cost never exceeds FA's by more than a constant factor and is often far
+lower, which experiment E4 measures across correlation regimes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Hashable
+
+from repro.topk.access import Aggregate, VerticalSource, sum_aggregate
+
+
+def threshold_algorithm(
+    source: VerticalSource,
+    k: int,
+    aggregate: Aggregate = sum_aggregate,
+) -> list[tuple[Hashable, float]]:
+    """Top-k objects by aggregate score, TA style.
+
+    Returns ``(object, score)`` pairs, best first.  ``aggregate`` must be
+    monotone in each coordinate for the threshold bound to be valid.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    m = source.num_lists
+
+    # Min-heap of (score, repr, object) keeps the current top-k.
+    top: list[tuple[float, str, Hashable]] = []
+    completed: set[Hashable] = set()
+
+    while not all(source.exhausted(j) for j in range(m)):
+        frontier: list[float] = []
+        for j in range(m):
+            pair = source.sorted_next(j)
+            if pair is None:
+                frontier.append(source.last_seen_score(j))
+                continue
+            obj, score = pair
+            frontier.append(score)
+            if obj in completed:
+                continue
+            completed.add(obj)
+            scores = [
+                score if i == j else source.random_access(i, obj)
+                for i in range(m)
+            ]
+            total = aggregate(scores)
+            entry = (total, repr(obj), obj)
+            if len(top) < k:
+                heapq.heappush(top, entry)
+            elif entry > top[0]:
+                heapq.heapreplace(top, entry)
+        threshold = aggregate(frontier)
+        if len(top) >= k and top[0][0] >= threshold:
+            break
+
+    ranked = sorted(top, key=lambda triple: (-triple[0], triple[1]))
+    return [(obj, score) for score, _, obj in ranked]

@@ -1,0 +1,31 @@
+"""Shared utilities: cost-model instrumentation and heap data structures.
+
+The tutorial's central methodological point is that top-k and optimal-join
+algorithms must be compared in the *same* model of computation (the standard
+RAM model), rather than the access-count model in which the Threshold
+Algorithm's optimality is stated.  :mod:`repro.util.counters` provides the
+operation counters that every engine in this library reports, so that all
+experiments can present RAM-model operation counts next to wall-clock time.
+
+:mod:`repro.util.heaps` contains the priority-queue machinery used by the
+any-k algorithms, including the incremental ("lazy") sorting structures that
+back the different ``ANYK-PART`` successor strategies.
+"""
+
+from repro.util.counters import Counters, global_counters, reset_global_counters
+from repro.util.heaps import (
+    BinaryHeap,
+    IncrementalQuickSelect,
+    LazySortedList,
+    TournamentBucket,
+)
+
+__all__ = [
+    "Counters",
+    "global_counters",
+    "reset_global_counters",
+    "BinaryHeap",
+    "LazySortedList",
+    "IncrementalQuickSelect",
+    "TournamentBucket",
+]

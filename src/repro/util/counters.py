@@ -1,0 +1,121 @@
+"""RAM-model operation counters.
+
+The tutorial argues (Sections 1 and 2) that analytical results for top-k
+algorithms are usually stated in terms of the number of *input tuples
+accessed*, while optimal-join research uses the standard RAM model that
+charges O(1) per memory access and therefore also accounts for the cost of
+large intermediate results.  To compare algorithms from both areas on equal
+footing, every engine in this library reports its work through a
+:class:`Counters` object.
+
+Counters are deliberately coarse: they track the quantities the tutorial
+talks about (tuples read, intermediate tuples materialized, comparisons,
+sorted/random accesses, heap operations) rather than literal machine
+operations.  Benchmarks report these counts as their primary series because
+absolute Python wall-clock is not a faithful proxy for the authors' Java
+testbed (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Counters:
+    """Mutable bundle of operation counts.
+
+    Attributes
+    ----------
+    tuples_read:
+        Input tuples touched (each scan of an input tuple counts once).
+    intermediate_tuples:
+        Tuples materialized in intermediate results (the quantity binary
+        join plans blow up on for cyclic queries).
+    output_tuples:
+        Result tuples emitted.
+    comparisons:
+        Key/weight comparisons performed.
+    hash_probes:
+        Hash table lookups.
+    sorted_accesses:
+        Sorted accesses in the TA middleware cost model.
+    random_accesses:
+        Random accesses in the TA middleware cost model.
+    heap_ops:
+        Priority queue pushes/pops (the any-k delay driver).
+    """
+
+    tuples_read: int = 0
+    intermediate_tuples: int = 0
+    output_tuples: int = 0
+    comparisons: int = 0
+    hash_probes: int = 0
+    sorted_accesses: int = 0
+    random_accesses: int = 0
+    heap_ops: int = 0
+    extras: dict = field(default_factory=dict)
+
+    def reset(self) -> None:
+        """Zero every counter in place."""
+        for f in fields(self):
+            if f.name == "extras":
+                self.extras.clear()
+            else:
+                setattr(self, f.name, 0)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment a named extra counter (created on first use)."""
+        self.extras[name] = self.extras.get(name, 0) + amount
+
+    def total_accesses(self) -> int:
+        """Middleware cost: sorted plus random accesses (TA model)."""
+        return self.sorted_accesses + self.random_accesses
+
+    def total_work(self) -> int:
+        """A single RAM-model-ish scalar: the sum of all counted operations.
+
+        Useful for quick comparisons in benchmarks; individual counters are
+        reported alongside it so no information is lost.
+        """
+        base = (
+            self.tuples_read
+            + self.intermediate_tuples
+            + self.output_tuples
+            + self.comparisons
+            + self.hash_probes
+            + self.sorted_accesses
+            + self.random_accesses
+            + self.heap_ops
+        )
+        return base + sum(self.extras.values())
+
+    def snapshot(self) -> dict:
+        """Return the counters as a plain dict (for bench reporting)."""
+        out = {
+            f.name: getattr(self, f.name) for f in fields(self) if f.name != "extras"
+        }
+        out.update(self.extras)
+        out["total_work"] = self.total_work()
+        return out
+
+    def merge(self, other: "Counters") -> "Counters":
+        """Add ``other``'s counts into ``self`` and return ``self``."""
+        for f in fields(self):
+            if f.name == "extras":
+                for key, value in other.extras.items():
+                    self.bump(key, value)
+            else:
+                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+
+#: Module-level counters used by engines when the caller does not supply
+#: an explicit instance.  Benchmarks reset this between runs.
+global_counters = Counters()
+
+
+def reset_global_counters() -> Counters:
+    """Reset and return the module-level :data:`global_counters`."""
+    global_counters.reset()
+    return global_counters

@@ -1,0 +1,124 @@
+"""Shared helpers and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter as Multiset
+
+from hypothesis import strategies as st
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+
+
+# ----------------------------------------------------------------------
+# Deterministic mini-database builders
+# ----------------------------------------------------------------------
+def tiny_db(*relations: Relation) -> Database:
+    return Database(relations)
+
+
+def weighted_relation(
+    name: str,
+    schema: tuple[str, ...],
+    size: int,
+    domain: int,
+    seed: int,
+) -> Relation:
+    rng = random.Random(seed)
+    rel = Relation(name, schema)
+    for _ in range(size):
+        rel.add(
+            tuple(rng.randrange(domain) for _ in schema),
+            round(rng.uniform(0.0, 1.0), 6),
+        )
+    return rel
+
+
+def ranked_weights(pairs) -> list[float]:
+    """Weights of (row, weight) pairs, rounded for float-stable compares."""
+    return [round(float(w), 9) for _, w in pairs]
+
+
+def multiset_of(pairs) -> Multiset:
+    return Multiset((row, round(float(w), 9)) for row, w in pairs)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategies
+# ----------------------------------------------------------------------
+#: Small weights with exact float behaviour (multiples of 1/64 avoid
+#: associativity-noise in cross-engine comparisons).
+weight_strategy = st.integers(min_value=0, max_value=640).map(lambda i: i / 64.0)
+
+
+@st.composite
+def relation_rows(draw, arity: int, max_size: int = 12, domain: int = 4):
+    size = draw(st.integers(min_value=0, max_value=max_size))
+    rows = [
+        tuple(
+            draw(st.integers(min_value=0, max_value=domain - 1))
+            for _ in range(arity)
+        )
+        for _ in range(size)
+    ]
+    weights = [draw(weight_strategy) for _ in range(size)]
+    return rows, weights
+
+
+@st.composite
+def path_db_strategy(draw, max_length: int = 3, max_size: int = 10, domain: int = 4):
+    """A random path-query database R1(A1,A2), ..., Rl(Al,Al+1)."""
+    length = draw(st.integers(min_value=1, max_value=max_length))
+    db = Database()
+    for i in range(1, length + 1):
+        rows, weights = draw(relation_rows(2, max_size=max_size, domain=domain))
+        db.add(Relation(f"R{i}", (f"A{i}", f"A{i + 1}"), rows, weights))
+    return db, length
+
+
+@st.composite
+def star_db_strategy(draw, max_arms: int = 3, max_size: int = 8, domain: int = 4):
+    arms = draw(st.integers(min_value=1, max_value=max_arms))
+    db = Database()
+    for i in range(1, arms + 1):
+        rows, weights = draw(relation_rows(2, max_size=max_size, domain=domain))
+        db.add(Relation(f"R{i}", ("A0", f"A{i}"), rows, weights))
+    return db, arms
+
+
+@st.composite
+def graph_db_strategy(draw, max_edges: int = 14, nodes: int = 5):
+    """A random weighted edge relation E(src, dst) without duplicates."""
+    edge_count = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=nodes - 1),
+                st.integers(min_value=0, max_value=nodes - 1),
+            ),
+            min_size=edge_count,
+            max_size=edge_count,
+            unique=True,
+        )
+    )
+    weights = [draw(weight_strategy) for _ in edges]
+    return Database([Relation("E", ("src", "dst"), edges, weights)])
+
+
+@st.composite
+def scored_lists_strategy(draw, max_objects: int = 12, max_lists: int = 3):
+    num_objects = draw(st.integers(min_value=1, max_value=max_objects))
+    num_lists = draw(st.integers(min_value=1, max_value=max_lists))
+    lists = []
+    for _ in range(num_lists):
+        scores = [
+            draw(st.integers(min_value=0, max_value=100)) / 100.0
+            for _ in range(num_objects)
+        ]
+        column = sorted(
+            ((f"o{i}", s) for i, s in enumerate(scores)),
+            key=lambda pair: (-pair[1], pair[0]),
+        )
+        lists.append(column)
+    return lists

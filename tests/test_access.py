@@ -1,0 +1,94 @@
+"""Tests for the middleware access model (VerticalSource)."""
+
+import pytest
+
+from repro.data.generators import scored_lists
+from repro.topk.access import VerticalSource, min_aggregate, sum_aggregate
+from repro.util.counters import Counters
+
+
+def _source(counters=None):
+    lists = [
+        [("a", 0.9), ("b", 0.5), ("c", 0.1)],
+        [("b", 0.8), ("c", 0.7), ("a", 0.2)],
+    ]
+    return VerticalSource(lists, counters)
+
+
+def test_requires_at_least_one_list():
+    with pytest.raises(ValueError):
+        VerticalSource([])
+
+
+def test_rejects_incomplete_lists():
+    with pytest.raises(ValueError, match="different object set"):
+        VerticalSource([[("a", 1.0)], [("b", 1.0)]])
+
+
+def test_rejects_unsorted_lists():
+    with pytest.raises(ValueError, match="not sorted"):
+        VerticalSource([[("a", 0.1), ("b", 0.9)]])
+
+
+def test_sorted_access_descends_and_counts():
+    c = Counters()
+    s = _source(c)
+    assert s.sorted_next(0) == ("a", 0.9)
+    assert s.sorted_next(0) == ("b", 0.5)
+    assert s.depth(0) == 2
+    assert c.sorted_accesses == 2
+    assert c.random_accesses == 0
+
+
+def test_sorted_access_exhaustion_returns_none():
+    s = _source()
+    for _ in range(3):
+        s.sorted_next(0)
+    assert s.exhausted(0)
+    assert s.sorted_next(0) is None
+
+
+def test_random_access_counts_and_errors():
+    c = Counters()
+    s = _source(c)
+    assert s.random_access(1, "a") == 0.2
+    assert c.random_accesses == 1
+    with pytest.raises(KeyError):
+        s.random_access(0, "zz")
+
+
+def test_last_seen_score_frontier():
+    s = _source()
+    assert s.last_seen_score(0) == 0.9  # before any access: top score
+    s.sorted_next(0)
+    assert s.last_seen_score(0) == 0.9
+    s.sorted_next(0)
+    assert s.last_seen_score(0) == 0.5
+
+
+def test_reset_rewinds_cursors():
+    s = _source()
+    s.sorted_next(0)
+    s.reset()
+    assert s.depth(0) == 0
+    assert s.sorted_next(0) == ("a", 0.9)
+
+
+def test_brute_force_topk_oracle():
+    s = _source()
+    top = s.brute_force_topk(2)
+    assert top[0] == ("b", pytest.approx(1.3))
+    assert top[1] == ("a", pytest.approx(1.1))
+
+
+def test_min_aggregate():
+    s = _source()
+    top = s.brute_force_topk(1, aggregate=min_aggregate)
+    assert top[0][0] == "b"  # min(0.5, 0.8) = 0.5 is the best bottleneck
+
+
+def test_generator_output_is_valid_source():
+    lists = scored_lists(25, 4, "inverse", seed=9)
+    s = VerticalSource(lists)
+    assert s.num_lists == 4
+    assert s.num_objects == 25

@@ -1,0 +1,91 @@
+"""Tests for fractional edge covers and the AGM bound (§3 claims)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.data.generators import random_graph_database, triangle_worstcase_database
+from repro.joins.generic_join import evaluate as generic_join
+from repro.query.agm import (
+    agm_bound,
+    fractional_cover_number,
+    fractional_edge_cover,
+    integral_cover_number,
+)
+from repro.query.cq import Atom, ConjunctiveQuery, QueryError, cycle_query, path_query, star_query, triangle_query
+
+from conftest import graph_db_strategy
+
+
+def test_triangle_fractional_cover_is_three_halves():
+    assert fractional_cover_number(triangle_query()) == pytest.approx(1.5)
+
+
+def test_fourcycle_fractional_cover_is_two():
+    assert fractional_cover_number(cycle_query(4)) == pytest.approx(2.0)
+
+
+def test_fivecycle_fractional_vs_integral_gap():
+    q = cycle_query(5)
+    assert fractional_cover_number(q) == pytest.approx(2.5)
+    assert integral_cover_number(q) == 3
+
+
+def test_path_cover_numbers():
+    # A length-l chain has l+1 variables and needs ceil((l+1)/2) atoms,
+    # both fractionally and integrally (consecutive disjoint edges).
+    assert fractional_cover_number(path_query(3)) == pytest.approx(2.0)
+    assert integral_cover_number(path_query(3)) == 2
+    assert fractional_cover_number(path_query(4)) == pytest.approx(3.0)
+    assert integral_cover_number(path_query(4)) == 3
+
+
+def test_star_cover_is_number_of_arms():
+    # Every arm has a private variable, so all atoms are needed.
+    assert fractional_cover_number(star_query(3)) == pytest.approx(3.0)
+
+
+def test_cover_weights_cover_every_variable():
+    q = triangle_query()
+    cover = fractional_edge_cover(q)
+    for variable in q.variables:
+        total = sum(
+            w
+            for w, atom in zip(cover.weights, q.atoms)
+            if variable in atom.variable_set
+        )
+        assert total >= 1.0 - 1e-9
+
+
+def test_sizes_length_validated():
+    with pytest.raises(QueryError):
+        fractional_edge_cover(triangle_query(), sizes=[1, 2])
+
+
+def test_agm_bound_on_worstcase_triangle_matches_n_to_1_5():
+    db = triangle_worstcase_database(40)
+    n = len(db["R"])
+    bound = agm_bound(db, triangle_query())
+    assert bound == pytest.approx(n**1.5, rel=1e-6)
+
+
+def test_agm_bound_zero_for_empty_relation():
+    db = triangle_worstcase_database(10)
+    db["T"].rows.clear()
+    db["T"].weights.clear()
+    assert agm_bound(db, triangle_query()) == 0.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(graph_db_strategy())
+def test_agm_bound_dominates_true_output_size(db):
+    for q in (triangle_query(("E", "E", "E")), cycle_query(4)):
+        out = generic_join(db, q)
+        assert len(out) <= agm_bound(db, q) + 1e-6
+
+
+def test_integral_cover_of_single_atom():
+    q = ConjunctiveQuery([Atom("R", ("a", "b"))])
+    assert integral_cover_number(q) == 1
+    assert fractional_cover_number(q) == pytest.approx(1.0)

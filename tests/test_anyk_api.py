@@ -1,0 +1,139 @@
+"""Tests for the rank_enumerate façade, batch baseline, and cyclic routes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import METHODS, rank_enumerate, top_k
+from repro.anyk.batch import batch_enumerate
+from repro.anyk.cyclic import is_fourcycle
+from repro.anyk.ranking import LEX, MAX, PRODUCT, SUM
+from repro.data.generators import path_database, random_graph_database
+from repro.joins.generic_join import evaluate as generic_join
+from repro.joins.naive import evaluate as naive_join
+from repro.query.cq import QueryError, cycle_query, path_query, triangle_query
+from repro.util.counters import Counters
+
+from conftest import graph_db_strategy, multiset_of, path_db_strategy, ranked_weights
+
+
+def _oracle(db, q, combine=lambda a, b: a + b):
+    out = generic_join(db, q, combine=combine)
+    return sorted(round(w, 9) for w in out.weights)
+
+
+def test_methods_constant_lists_everything():
+    assert "part:lazy" in METHODS
+    assert "rec" in METHODS
+    assert "batch" in METHODS
+    assert "lawler" in METHODS
+    assert len([m for m in METHODS if m.startswith("part:")]) == 5
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_every_method_on_acyclic(method):
+    db = path_database(3, 15, 4, seed=1)
+    q = path_query(3)
+    got = ranked_weights(rank_enumerate(db, q, method=method))
+    assert got == _oracle(db, q)
+
+
+@pytest.mark.parametrize("method", ["part:lazy", "part:all", "rec", "batch"])
+def test_every_method_on_fourcycle(method):
+    db = random_graph_database(70, 14, seed=2)
+    q = cycle_query(4)
+    got = ranked_weights(rank_enumerate(db, q, method=method))
+    assert got == _oracle(db, q)
+
+
+@pytest.mark.parametrize("method", ["part:eager", "rec", "batch"])
+def test_every_method_on_triangle_ghd_route(method):
+    db = random_graph_database(60, 12, seed=3)
+    q = triangle_query(("E", "E", "E"))
+    got = ranked_weights(rank_enumerate(db, q, method=method))
+    assert got == _oracle(db, q)
+
+
+def test_k_truncates_stream():
+    db = path_database(3, 20, 4, seed=4)
+    q = path_query(3)
+    full = _oracle(db, q)
+    assert ranked_weights(rank_enumerate(db, q, k=5)) == full[:5]
+    assert [round(float(w), 9) for _, w in top_k(db, q, 3)] == full[:3]
+
+
+def test_k_validation():
+    db = path_database(2, 5, 3, seed=0)
+    with pytest.raises(ValueError):
+        list(rank_enumerate(db, path_query(2), k=0))
+
+
+def test_unknown_method_rejected():
+    db = path_database(2, 5, 3, seed=0)
+    with pytest.raises(ValueError, match="unknown any-k method"):
+        list(rank_enumerate(db, path_query(2), method="bogus"))
+
+
+def test_lawler_rejected_on_cyclic():
+    db = random_graph_database(20, 8, seed=1)
+    with pytest.raises(QueryError):
+        list(rank_enumerate(db, cycle_query(4), method="lawler"))
+
+
+def test_lex_rejected_on_cyclic():
+    db = random_graph_database(20, 8, seed=1)
+    with pytest.raises(TypeError):
+        list(rank_enumerate(db, cycle_query(4), ranking=LEX))
+
+
+def test_rankings_on_cyclic_queries():
+    db = random_graph_database(
+        50, 10, seed=5, weight_range=(0.1, 1.0)
+    )  # positive weights for PRODUCT
+    q = cycle_query(4)
+    assert ranked_weights(rank_enumerate(db, q, ranking=MAX)) == _oracle(
+        db, q, combine=max
+    )
+    got = [w for _, w in rank_enumerate(db, q, ranking=PRODUCT)]
+    assert all(got[i] <= got[i + 1] + 1e-12 for i in range(len(got) - 1))
+
+
+def test_is_fourcycle_detector():
+    assert is_fourcycle(cycle_query(4))
+    assert not is_fourcycle(cycle_query(3))
+    assert not is_fourcycle(path_query(4))
+
+
+def test_batch_rejects_lex():
+    db = path_database(2, 5, 3, seed=0)
+    with pytest.raises(TypeError):
+        list(batch_enumerate(db, path_query(2), ranking=LEX))
+
+
+@settings(max_examples=20, deadline=None)
+@given(db=graph_db_strategy(), k=st.integers(min_value=1, max_value=8))
+def test_topk_prefix_property_fourcycle(db, k):
+    """Any-k top-k is always a prefix of the full ranking (hypothesis)."""
+    q = cycle_query(4)
+    full = _oracle(db, q)
+    got = ranked_weights(rank_enumerate(db, q, k=k))
+    assert got == full[: min(k, len(full))]
+
+
+def test_rows_reordered_to_query_variables():
+    db = random_graph_database(40, 8, seed=6)
+    q = cycle_query(4)
+    for row, _ in rank_enumerate(db, q, k=10):
+        assert len(row) == 4  # x1..x4, in query order
+    # Verify against generic join rows.
+    expected_rows = set(generic_join(db, q).rows)
+    for row, _ in rank_enumerate(db, q, k=10):
+        assert row in expected_rows
+
+
+def test_counters_flow_through():
+    db = path_database(2, 10, 3, seed=7)
+    c = Counters()
+    list(rank_enumerate(db, path_query(2), counters=c))
+    assert c.heap_ops > 0
+    assert c.output_tuples > 0

@@ -1,0 +1,73 @@
+"""Unit tests for the RAM-model operation counters."""
+
+from repro.util.counters import Counters, global_counters, reset_global_counters
+
+
+def test_counters_start_at_zero():
+    c = Counters()
+    assert c.total_work() == 0
+    assert c.snapshot()["total_work"] == 0
+
+
+def test_counters_accumulate_and_reset():
+    c = Counters()
+    c.tuples_read += 3
+    c.comparisons += 2
+    c.heap_ops += 1
+    assert c.total_work() == 6
+    c.reset()
+    assert c.total_work() == 0
+    assert c.extras == {}
+
+
+def test_bump_creates_named_extras():
+    c = Counters()
+    c.bump("naive_dp_work", 10)
+    c.bump("naive_dp_work", 5)
+    assert c.extras["naive_dp_work"] == 15
+    assert c.total_work() == 15
+    assert c.snapshot()["naive_dp_work"] == 15
+
+
+def test_total_accesses_is_middleware_cost():
+    c = Counters()
+    c.sorted_accesses += 4
+    c.random_accesses += 6
+    c.tuples_read += 100  # RAM-model work must not leak into access cost
+    assert c.total_accesses() == 10
+
+
+def test_merge_adds_counts_and_extras():
+    a = Counters()
+    b = Counters()
+    a.tuples_read = 2
+    a.bump("x", 1)
+    b.tuples_read = 3
+    b.bump("x", 4)
+    b.bump("y", 2)
+    a.merge(b)
+    assert a.tuples_read == 5
+    assert a.extras == {"x": 5, "y": 2}
+
+
+def test_snapshot_contains_all_fields():
+    keys = Counters().snapshot().keys()
+    for field in (
+        "tuples_read",
+        "intermediate_tuples",
+        "output_tuples",
+        "comparisons",
+        "hash_probes",
+        "sorted_accesses",
+        "random_accesses",
+        "heap_ops",
+        "total_work",
+    ):
+        assert field in keys
+
+
+def test_global_counters_reset_helper():
+    global_counters.tuples_read += 1
+    returned = reset_global_counters()
+    assert returned is global_counters
+    assert global_counters.tuples_read == 0

@@ -1,0 +1,105 @@
+"""Tests for the conjunctive query AST and builders."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.query.cq import (
+    Atom,
+    ConjunctiveQuery,
+    QueryError,
+    cycle_query,
+    path_graph_query,
+    path_query,
+    star_query,
+    triangle_query,
+)
+
+
+def test_atom_requires_variables():
+    with pytest.raises(QueryError):
+        Atom("R", ())
+
+
+def test_atom_variable_set_deduplicates():
+    atom = Atom("E", ("x", "x"))
+    assert atom.variable_set == frozenset({"x"})
+    assert str(atom) == "E(x, x)"
+
+
+def test_query_variables_in_first_appearance_order():
+    q = ConjunctiveQuery([Atom("R", ("b", "a")), Atom("S", ("a", "c"))])
+    assert q.variables == ("b", "a", "c")
+
+
+def test_query_requires_atoms():
+    with pytest.raises(QueryError):
+        ConjunctiveQuery([])
+
+
+def test_validate_unknown_relation():
+    db = Database([Relation("R", ("x", "y"))])
+    q = ConjunctiveQuery([Atom("Missing", ("a", "b"))])
+    with pytest.raises(QueryError, match="Missing"):
+        q.validate(db)
+
+
+def test_validate_arity_mismatch():
+    db = Database([Relation("R", ("x", "y"))])
+    q = ConjunctiveQuery([Atom("R", ("a",))])
+    with pytest.raises(QueryError, match="arity"):
+        q.validate(db)
+
+
+def test_atom_variable_positions_handles_repeats():
+    q = ConjunctiveQuery([Atom("E", ("x", "y", "x"))])
+    assert q.atom_variable_positions(0) == {"x": [0, 2], "y": [1]}
+
+
+def test_variables_of_subset():
+    q = path_query(3)
+    assert q.variables_of([0, 2]) == frozenset({"A1", "A2", "A3", "A4"})
+
+
+def test_path_query_shape():
+    q = path_query(3)
+    assert len(q.atoms) == 3
+    assert q.atoms[1].relation == "R2"
+    assert q.variables == ("A1", "A2", "A3", "A4")
+    with pytest.raises(QueryError):
+        path_query(0)
+
+
+def test_star_query_shape():
+    q = star_query(3)
+    assert all(atom.variables[0] == "A0" for atom in q.atoms)
+    with pytest.raises(QueryError):
+        star_query(0)
+
+
+def test_triangle_query_shape():
+    q = triangle_query()
+    assert [a.relation for a in q.atoms] == ["R", "S", "T"]
+    assert q.variables == ("A", "B", "C")
+    with pytest.raises(QueryError):
+        triangle_query(("R", "S"))
+
+
+def test_cycle_query_closes_the_loop():
+    q = cycle_query(4)
+    assert q.atoms[0].variables == ("x1", "x2")
+    assert q.atoms[3].variables == ("x4", "x1")
+    assert all(atom.relation == "E" for atom in q.atoms)
+    with pytest.raises(QueryError):
+        cycle_query(1)
+
+
+def test_path_graph_query_self_join():
+    q = path_graph_query(2)
+    assert [a.relation for a in q.atoms] == ["E", "E"]
+    assert q.variables == ("x1", "x2", "x3")
+
+
+def test_str_round_trips_shape():
+    q = path_query(2, name="P")
+    assert str(q) == "P(A1, A2, A3) :- R1(A1, A2), R2(A2, A3)"

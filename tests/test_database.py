@@ -1,0 +1,56 @@
+"""Tests for the database catalog."""
+
+import pytest
+
+from repro.data.database import Database
+from repro.data.relation import Relation, SchemaError
+
+
+def _rel(name, size=3):
+    return Relation(name, ("a",), [(i,) for i in range(size)])
+
+
+def test_add_and_lookup():
+    db = Database([_rel("R")])
+    assert "R" in db
+    assert db["R"].name == "R"
+    assert len(db) == 1
+
+
+def test_duplicate_names_rejected():
+    db = Database([_rel("R")])
+    with pytest.raises(SchemaError):
+        db.add(_rel("R"))
+
+
+def test_replace_overwrites():
+    db = Database([_rel("R", 3)])
+    db.replace(_rel("R", 5))
+    assert len(db["R"]) == 5
+
+
+def test_missing_relation_error_mentions_known_names():
+    db = Database([_rel("R")])
+    with pytest.raises(KeyError, match="R"):
+        db["S"]
+
+
+def test_sizes_and_names():
+    db = Database([_rel("B", 2), _rel("A", 7)])
+    assert db.names() == ["A", "B"]
+    assert db.max_relation_size() == 7
+    assert db.total_tuples() == 9
+    assert Database().max_relation_size() == 0
+
+
+def test_copy_is_shallow_but_independent():
+    db = Database([_rel("R")])
+    clone = db.copy()
+    clone["R"].add((99,))
+    assert len(db["R"]) == 3
+    assert len(clone["R"]) == 4
+
+
+def test_iteration_yields_relations():
+    db = Database([_rel("R"), _rel("S")])
+    assert {rel.name for rel in db} == {"R", "S"}

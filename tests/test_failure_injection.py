@@ -1,0 +1,99 @@
+"""Failure injection: malformed inputs must fail loudly and early."""
+
+import pytest
+
+from repro import rank_enumerate
+from repro.data.database import Database
+from repro.data.relation import Relation, SchemaError
+from repro.joins.generic_join import evaluate as generic_join
+from repro.joins.leapfrog import evaluate as leapfrog_join
+from repro.joins.naive import evaluate as naive_join
+from repro.joins.yannakakis import evaluate as yannakakis_join
+from repro.query.cq import Atom, ConjunctiveQuery, QueryError, path_query, triangle_query
+from repro.topk.rank_join import rank_join_topk
+
+
+def _db():
+    return Database(
+        [
+            Relation("R1", ("A1", "A2"), [(0, 1)]),
+            Relation("R2", ("A2", "A3"), [(1, 2)]),
+        ]
+    )
+
+
+@pytest.mark.parametrize(
+    "engine", [naive_join, yannakakis_join, generic_join, leapfrog_join]
+)
+def test_unknown_relation_raises(engine):
+    q = ConjunctiveQuery([Atom("Nope", ("a", "b"))])
+    with pytest.raises(QueryError, match="Nope"):
+        engine(_db(), q)
+
+
+@pytest.mark.parametrize(
+    "engine", [naive_join, yannakakis_join, generic_join, leapfrog_join]
+)
+def test_arity_mismatch_raises(engine):
+    q = ConjunctiveQuery([Atom("R1", ("a", "b", "c"))])
+    with pytest.raises(QueryError, match="arity"):
+        engine(_db(), q)
+
+
+def test_rank_enumerate_validates_query():
+    with pytest.raises(QueryError):
+        list(rank_enumerate(_db(), ConjunctiveQuery([Atom("Zzz", ("a",))])))
+
+
+def test_rank_join_validates_query():
+    with pytest.raises(QueryError):
+        rank_join_topk(_db(), ConjunctiveQuery([Atom("Zzz", ("a",))]), k=1)
+
+
+def test_nan_weight_rejected_at_ingestion():
+    rel = Relation("R", ("a",))
+    with pytest.raises(SchemaError, match="not finite"):
+        rel.add((1,), float("nan"))
+
+
+def test_empty_relation_join_is_empty_everywhere():
+    db = _db()
+    db.replace(Relation("R2", ("A2", "A3")))
+    q = path_query(2)
+    for engine in (naive_join, yannakakis_join, generic_join, leapfrog_join):
+        assert len(engine(db, q)) == 0
+    assert list(rank_enumerate(db, q)) == []
+
+
+def test_yannakakis_rejects_cyclic_queries():
+    db = Database(
+        [
+            Relation("R", ("A", "B"), [(1, 2)]),
+            Relation("S", ("B", "C"), [(2, 3)]),
+            Relation("T", ("C", "A"), [(3, 1)]),
+        ]
+    )
+    with pytest.raises(QueryError, match="cyclic"):
+        yannakakis_join(db, triangle_query())
+
+
+def test_naive_guard_on_explosive_cross_products():
+    rel = Relation("R", ("a",), [(i,) for i in range(200)])
+    db = Database([rel])
+    q = ConjunctiveQuery([Atom("R", (f"x{i}",)) for i in range(5)])
+    with pytest.raises(QueryError, match="naive join"):
+        naive_join(db, q, max_combinations=10**6)
+
+
+def test_disconnected_query_is_a_cross_product_not_an_error():
+    db = Database(
+        [
+            Relation("R1", ("A1", "A2"), [(0, 1), (2, 3)]),
+            Relation("R2", ("B1", "B2"), [(7, 8)]),
+        ]
+    )
+    q = ConjunctiveQuery([Atom("R1", ("a", "b")), Atom("R2", ("c", "d"))])
+    for engine in (naive_join, yannakakis_join, generic_join, leapfrog_join):
+        assert len(engine(db, q)) == 2
+    weights = [w for _, w in rank_enumerate(db, q)]
+    assert len(weights) == 2

@@ -1,0 +1,139 @@
+"""Tests for the synthetic workload generators, including the adversarial
+instances whose structural properties the experiments rely on."""
+
+import math
+
+import pytest
+
+from repro.data.generators import (
+    dangling_path_database,
+    fourcycle_hub_database,
+    path_database,
+    random_graph_database,
+    random_relation,
+    rank_join_database,
+    scored_lists,
+    star_database,
+    triangle_worstcase_database,
+)
+from repro.joins.generic_join import evaluate as generic_join
+from repro.query.cq import cycle_query, path_query, triangle_query
+
+
+def test_random_relation_deterministic_given_seed():
+    a = random_relation("R", ("x", "y"), 20, 5, seed=42)
+    b = random_relation("R", ("x", "y"), 20, 5, seed=42)
+    assert a.rows == b.rows and a.weights == b.weights
+
+
+def test_random_relation_respects_domain_and_range():
+    r = random_relation("R", ("x",), 50, 3, seed=1, weight_range=(2.0, 3.0))
+    assert all(0 <= row[0] < 3 for row in r.rows)
+    assert all(2.0 <= w < 3.0 for w in r.weights)
+
+
+def test_zipf_skew_concentrates_small_values():
+    skewed = random_relation("R", ("x",), 400, 100, seed=3, zipf_skew=1.5)
+    uniform = random_relation("R", ("x",), 400, 100, seed=3)
+    small_skewed = sum(1 for row in skewed.rows if row[0] < 5)
+    small_uniform = sum(1 for row in uniform.rows if row[0] < 5)
+    assert small_skewed > 2 * small_uniform
+
+
+def test_path_database_schema_chain():
+    db = path_database(3, 10, 4, seed=0)
+    assert db["R2"].schema == ("A2", "A3")
+    assert db.names() == ["R1", "R2", "R3"]
+
+
+def test_path_database_rejects_bad_length():
+    with pytest.raises(ValueError):
+        path_database(0, 5, 3)
+
+
+def test_star_database_shares_center():
+    db = star_database(3, 10, 4, seed=0)
+    for i in (1, 2, 3):
+        assert db[f"R{i}"].schema[0] == "A0"
+
+
+def test_dangling_path_has_empty_output_but_fat_intermediate():
+    db = dangling_path_database(3, 30)
+    out = generic_join(db, path_query(3))
+    assert len(out) == 0
+    # The R1 ⋈ R2 intermediate would be quadratic: every row joins on 0.
+    assert all(row[1] == 0 for row in db["R1"].rows)
+    assert all(row[0] == 0 for row in db["R2"].rows)
+    assert len(db["R3"]) == 0
+
+
+def test_triangle_worstcase_output_linear_but_joins_quadratic():
+    n = 24
+    db = triangle_worstcase_database(n)
+    half = n // 2
+    assert len(db["R"]) == 2 * half - 1
+    out = generic_join(db, triangle_query())
+    # Known structure: triangles are (i,1,1), (1,j,1), (1,1,k) — Θ(n).
+    assert len(out) == 3 * (half - 1) + 1
+    # Pairwise join size is quadratic: every (i,1) joins every (1,j).
+    r_second = sum(1 for row in db["R"].rows if row[1] == 1)
+    s_first = sum(1 for row in db["S"].rows if row[0] == 1)
+    assert r_second * s_first >= (half - 1) ** 2
+
+
+def test_fourcycle_hub_has_quadratically_many_cycles():
+    db = fourcycle_hub_database(48, seed=0)
+    m = 48 // 8
+    out = generic_join(db, cycle_query(4))
+    # Each (a_i, c_j) pair closes at least one 4-cycle; directions and
+    # degenerate cycles add more — so at least m² results.
+    assert len(out) >= m * m
+
+
+def test_random_graph_no_duplicates_no_loops():
+    db = random_graph_database(60, 15, seed=2)
+    rel = db["E"]
+    assert len(set(rel.rows)) == len(rel)
+    assert all(u != v for u, v in rel.rows)
+
+
+def test_scored_lists_sorted_and_complete():
+    lists = scored_lists(30, 3, "independent", seed=1)
+    assert len(lists) == 3
+    universe = {obj for obj, _ in lists[0]}
+    for column in lists:
+        assert {obj for obj, _ in column} == universe
+        scores = [s for _, s in column]
+        assert scores == sorted(scores, reverse=True)
+
+
+def test_scored_lists_correlation_regimes_differ():
+    def spread(corr):
+        lists = scored_lists(50, 2, corr, seed=3)
+        ranks1 = {obj: i for i, (obj, _) in enumerate(lists[0])}
+        ranks2 = {obj: i for i, (obj, _) in enumerate(lists[1])}
+        return sum(abs(ranks1[o] - ranks2[o]) for o in ranks1)
+
+    assert spread("correlated") < spread("independent") < spread("inverse")
+
+
+def test_rank_join_database_plants_winner_at_depth():
+    depth = 40
+    db = rank_join_database(100, depth, seed=5)
+    r1 = db["R1"].sorted_by_weight()
+    # The lightest planted tuple sits at (approximately) the given depth.
+    planted_positions = [
+        i for i, row in enumerate(r1.rows) if str(row[0]).startswith("ra_win")
+    ]
+    assert min(planted_positions) in (depth - 1, depth, depth + 1)
+
+
+def test_rank_join_database_background_never_joins():
+    db = rank_join_database(50, 5, seed=1, num_results=4)
+    out = generic_join(db, path_query(2))
+    assert len(out) == 4  # exactly the planted pairs
+
+
+def test_rank_join_database_depth_validation():
+    with pytest.raises(ValueError):
+        rank_join_database(10, 10)

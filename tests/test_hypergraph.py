@@ -1,0 +1,98 @@
+"""Tests for hypergraphs, GYO reduction and join trees."""
+
+import pytest
+
+from repro.query.cq import Atom, ConjunctiveQuery, QueryError, cycle_query, path_query, star_query, triangle_query
+from repro.query.hypergraph import (
+    Hypergraph,
+    connected_components,
+    gyo_reduction,
+    is_acyclic,
+    join_tree_or_raise,
+)
+
+
+def test_acyclic_queries_recognized():
+    assert is_acyclic(path_query(4))
+    assert is_acyclic(star_query(4))
+    assert is_acyclic(ConjunctiveQuery([Atom("R", ("a", "b"))]))
+
+
+def test_cyclic_queries_recognized():
+    assert not is_acyclic(triangle_query())
+    assert not is_acyclic(cycle_query(4))
+    assert not is_acyclic(cycle_query(5))
+
+
+def test_alpha_acyclicity_big_atom_covers_cycle():
+    # Adding an atom covering all three triangle variables makes the query
+    # α-acyclic (the classic subtlety of α-acyclicity).
+    q = ConjunctiveQuery(
+        [
+            Atom("R", ("a", "b")),
+            Atom("S", ("b", "c")),
+            Atom("T", ("c", "a")),
+            Atom("U", ("a", "b", "c")),
+        ]
+    )
+    assert is_acyclic(q)
+
+
+def test_join_tree_parent_structure():
+    tree = gyo_reduction(path_query(3))
+    assert tree is not None
+    roots = [node for node, parent in tree.parent.items() if parent is None]
+    assert roots == [tree.root]
+    assert sorted(tree.order) == [0, 1, 2]
+    assert tree.order[0] == tree.root
+
+
+def test_join_tree_running_intersection():
+    for q in (path_query(4), star_query(4)):
+        tree = gyo_reduction(q)
+        assert tree is not None
+        assert tree.satisfies_running_intersection()
+
+
+def test_edge_join_variables():
+    tree = gyo_reduction(path_query(2))
+    assert tree is not None
+    child = next(n for n, p in tree.parent.items() if p is not None)
+    assert tree.edge_join_variables(child) == frozenset({"A2"})
+
+
+def test_leaves_are_childless():
+    tree = gyo_reduction(star_query(3))
+    assert tree is not None
+    for leaf in tree.leaves():
+        assert tree.children[leaf] == []
+
+
+def test_join_tree_or_raise_on_cyclic():
+    with pytest.raises(QueryError, match="cyclic"):
+        join_tree_or_raise(triangle_query())
+
+
+def test_cross_product_queries_are_acyclic():
+    q = ConjunctiveQuery([Atom("R", ("a",)), Atom("S", ("b",))])
+    tree = gyo_reduction(q)
+    assert tree is not None
+    assert tree.satisfies_running_intersection()
+
+
+def test_hypergraph_structure():
+    hg = Hypergraph(triangle_query())
+    assert set(hg.vertices) == {"A", "B", "C"}
+    assert hg.incident_edges("B") == [0, 1]
+    assert hg.primal_neighbors()["A"] == {"B", "C"}
+    assert hg.is_connected()
+
+
+def test_hypergraph_disconnected():
+    q = ConjunctiveQuery([Atom("R", ("a", "b")), Atom("S", ("c", "d"))])
+    assert not Hypergraph(q).is_connected()
+    assert connected_components(q) == [[0], [1]]
+
+
+def test_connected_components_single():
+    assert connected_components(path_query(3)) == [[0, 1, 2]]

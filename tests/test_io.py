@@ -1,0 +1,104 @@
+"""Tests for relation / graph / scored-list file I/O."""
+
+import pytest
+
+from repro.data.io import (
+    load_graph,
+    load_relation,
+    load_scored_lists,
+    save_relation,
+)
+from repro.data.relation import Relation, SchemaError
+from repro.topk.access import VerticalSource
+
+
+def test_relation_round_trip(tmp_path):
+    original = Relation(
+        "R", ("a", "b"), [(1, "x"), (2, "y")], [0.25, 0.5]
+    )
+    path = tmp_path / "r.csv"
+    save_relation(original, path)
+    loaded = load_relation(path)
+    assert loaded.name == "r"
+    assert loaded.schema == ("a", "b")
+    assert loaded.rows == original.rows
+    assert loaded.weights == original.weights
+
+
+def test_round_trip_without_weights(tmp_path):
+    original = Relation("R", ("a",), [(1,), (2,)])
+    path = tmp_path / "r.csv"
+    save_relation(original, path, include_weights=False)
+    loaded = load_relation(path)
+    assert loaded.rows == [(1,), (2,)]
+    assert loaded.weights == [0.0, 0.0]
+
+
+def test_load_with_explicit_schema_no_header(tmp_path):
+    path = tmp_path / "raw.tsv"
+    path.write_text("1\t2\t0.5\n3\t4\t0.25\n")
+    rel = load_relation(path, schema=("x", "y"), delimiter="\t")
+    assert rel.rows == [(1, 2), (3, 4)]
+    assert rel.weights == [0.5, 0.25]
+
+
+def test_load_explicit_schema_without_weight_column(tmp_path):
+    path = tmp_path / "raw.csv"
+    path.write_text("1,2\n3,4\n")
+    rel = load_relation(path, schema=("x", "y"))
+    assert rel.weights == [0.0, 0.0]
+
+
+def test_value_typing_int_float_string(tmp_path):
+    path = tmp_path / "typed.csv"
+    path.write_text("a,b,c\n1,2.5,hello\n")
+    rel = load_relation(path)
+    assert rel.rows == [(1, 2.5, "hello")]
+
+
+def test_field_count_mismatch_raises(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("a,b\n1\n")
+    with pytest.raises(SchemaError, match="expected 2 fields"):
+        load_relation(path)
+
+
+def test_empty_file_raises(tmp_path):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    with pytest.raises(SchemaError, match="empty"):
+        load_relation(path)
+
+
+def test_load_graph_with_comments_and_weights(tmp_path):
+    path = tmp_path / "graph.csv"
+    path.write_text("# a comment\n1,2,0.5\n2,3\n")
+    db = load_graph(path, default_weight=0.1)
+    rel = db["E"]
+    assert rel.rows == [(1, 2), (2, 3)]
+    assert rel.weights == [0.5, 0.1]
+
+
+def test_load_graph_bad_row(tmp_path):
+    path = tmp_path / "graph.csv"
+    path.write_text("1,2,3,4\n")
+    with pytest.raises(SchemaError):
+        load_graph(path)
+
+
+def test_scored_lists_sorted_and_usable(tmp_path):
+    p1 = tmp_path / "l1.csv"
+    p2 = tmp_path / "l2.csv"
+    p1.write_text("a,0.1\nb,0.9\n")
+    p2.write_text("b,0.2\na,0.8\n")
+    lists = load_scored_lists([p1, p2])
+    assert lists[0][0] == ("b", 0.9)  # sorted descending on load
+    source = VerticalSource(lists)
+    assert source.num_objects == 2
+
+
+def test_scored_lists_bad_row(tmp_path):
+    p = tmp_path / "l.csv"
+    p.write_text("a\n")
+    with pytest.raises(SchemaError):
+        load_scored_lists([p])

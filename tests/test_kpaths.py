@@ -1,0 +1,174 @@
+"""Tests for the k-shortest-path package and its any-k connection."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anyk.api import rank_enumerate
+from repro.paths.graph import (
+    Digraph,
+    graph_path_to_answer,
+    path_query_as_graph,
+)
+from repro.paths.hoffman_pavley import hoffman_pavley
+from repro.paths.rea import recursive_enumeration
+from repro.query.cq import QueryError, path_query, star_query
+
+from conftest import path_db_strategy
+
+ALGORITHMS = (hoffman_pavley, recursive_enumeration)
+
+
+def _diamond() -> Digraph:
+    g = Digraph()
+    g.add_edge("s", "a", 1.0)
+    g.add_edge("s", "b", 2.0)
+    g.add_edge("a", "t", 5.0)
+    g.add_edge("b", "t", 1.0)
+    g.add_edge("a", "b", 0.5)
+    return g
+
+
+def _brute_force_paths(g, source, target, max_len=8):
+    """All s-t walks up to a hop bound, sorted by cost (test oracle)."""
+    results = []
+
+    def walk(node, path, cost):
+        if len(path) > max_len:
+            return
+        if node == target:
+            results.append((cost, path))
+            return
+        for nxt, weight, _ in g.out_edges(node):
+            walk(nxt, path + [nxt], cost + weight)
+
+    walk(source, [source], 0.0)
+    results.sort(key=lambda pair: (pair[0], pair[1]))
+    return results
+
+
+def test_digraph_shortest_path():
+    g = _diamond()
+    path, cost = g.shortest_path("s", "t")
+    assert path == ["s", "a", "b", "t"]
+    assert cost == pytest.approx(2.5)
+    assert g.shortest_path("t", "s") is None
+
+
+def test_digraph_rejects_negative_weights():
+    g = Digraph()
+    g.add_edge("s", "t", -1.0)
+    with pytest.raises(ValueError):
+        g.shortest_to("t")
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_diamond_ranking(algorithm):
+    g = _diamond()
+    got = list(algorithm(g, "s", "t", k=4))
+    costs = [round(c, 9) for _, c in got]
+    # s-b-t=3, s-a-b-t=2.5, s-a-t=6: sorted = 2.5, 3, 6.
+    assert costs == [2.5, 3.0, 6.0]
+    assert got[0][0] == ["s", "a", "b", "t"]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_matches_brute_force_on_dag(algorithm):
+    g = Digraph()
+    edges = [
+        ("s", "a", 1.0), ("s", "b", 4.0), ("a", "b", 1.0), ("a", "c", 7.0),
+        ("b", "c", 2.0), ("b", "t", 9.0), ("c", "t", 1.0), ("s", "c", 9.5),
+    ]
+    for u, v, w in edges:
+        g.add_edge(u, v, w)
+    oracle = _brute_force_paths(g, "s", "t")
+    got = list(algorithm(g, "s", "t", k=len(oracle)))
+    assert [round(c, 9) for _, c in got] == [round(c, 9) for c, _ in oracle]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_cyclic_graph_walks_in_order(algorithm):
+    g = Digraph()
+    g.add_edge("s", "a", 1.0)
+    g.add_edge("a", "s", 1.0)  # positive-weight cycle
+    g.add_edge("a", "t", 1.0)
+    got = list(algorithm(g, "s", "t", k=3))
+    costs = [round(c, 9) for _, c in got]
+    assert costs == [2.0, 4.0, 6.0]  # each loop adds 2
+    assert got[1][0] == ["s", "a", "s", "a", "t"]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_parallel_edges_counted_separately(algorithm):
+    g = Digraph()
+    g.add_edge("s", "t", 1.0)
+    g.add_edge("s", "t", 2.0)
+    got = list(algorithm(g, "s", "t", k=5))
+    assert [round(c, 9) for _, c in got] == [1.0, 2.0]
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_unreachable_target_empty(algorithm):
+    g = Digraph()
+    g.add_edge("s", "a", 1.0)
+    g.add_node("t")
+    assert list(algorithm(g, "s", "t", k=3)) == []
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@settings(max_examples=25, deadline=None)
+@given(db_and_length=path_db_strategy(max_length=3, max_size=8))
+def test_layered_reduction_equals_anyk(algorithm, db_and_length):
+    """The tutorial's bridge: k-shortest paths on the layered DAG enumerate
+    exactly the ranked answers of the path query."""
+    db, length = db_and_length
+    query = path_query(length)
+    graph, source, target = path_query_as_graph(db, query)
+    expected = [round(float(w), 9) for _, w in rank_enumerate(db, query)]
+    got = [
+        round(c, 9)
+        for _, c in itertools.islice(
+            algorithm(graph, source, target), len(expected) + 5
+        )
+    ]
+    assert got == expected
+
+
+def test_layered_reduction_answer_rows():
+    from repro.data.generators import path_database
+
+    db = path_database(3, 12, 3, seed=2)
+    query = path_query(3)
+    graph, source, target = path_query_as_graph(db, query)
+    path, cost = next(hoffman_pavley(graph, source, target))
+    answer = graph_path_to_answer(path)
+    best_row, best_weight = next(iter(rank_enumerate(db, query)))
+    assert answer == best_row
+    assert cost == pytest.approx(float(best_weight))
+
+
+def test_reduction_rejects_non_path_queries():
+    from repro.data.generators import star_database
+
+    db = star_database(3, 5, 3, seed=0)
+    with pytest.raises(QueryError):
+        path_query_as_graph(db, star_query(3))
+
+
+def test_algorithms_agree_with_each_other():
+    g = Digraph()
+    edges = [
+        ("s", "a", 0.3), ("s", "b", 0.1), ("a", "c", 0.4), ("b", "c", 0.6),
+        ("c", "a", 0.2), ("c", "t", 0.5), ("a", "t", 1.1), ("b", "t", 1.9),
+    ]
+    for u, v, w in edges:
+        g.add_edge(u, v, w)
+    hp = [(tuple(p), round(c, 9)) for p, c in hoffman_pavley(g, "s", "t", k=12)]
+    rea = [
+        (tuple(p), round(c, 9))
+        for p, c in recursive_enumeration(g, "s", "t", k=12)
+    ]
+    assert [c for _, c in hp] == [c for _, c in rea]
+    assert sorted(hp) == sorted(rea)

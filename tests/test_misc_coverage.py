@@ -1,0 +1,149 @@
+"""Coverage for smaller code paths: boolean dispatch, cyclic internals,
+batch details, J* orders, and counter plumbing."""
+
+import pytest
+
+from repro.anyk.batch import batch_enumerate
+from repro.anyk.cyclic import enumerate_union_of_trees, rank_enumerate_ghd
+from repro.anyk.part import anyk_part
+from repro.anyk.ranking import SUM
+from repro.anyk.tdp import TDP
+from repro.data.database import Database
+from repro.data.generators import path_database, random_graph_database
+from repro.data.relation import Relation
+from repro.joins.boolean import has_any_result
+from repro.joins.generic_join import evaluate as generic_join
+from repro.joins.heavylight import UnionTree, fourcycle_union_of_trees
+from repro.query.cq import Atom, ConjunctiveQuery, cycle_query, path_query, triangle_query
+from repro.topk.jstar import jstar_stream
+from repro.util.counters import Counters
+
+from conftest import ranked_weights
+
+
+def test_boolean_dispatch_acyclic_vs_cyclic():
+    db = path_database(2, 10, 3, seed=1)
+    c = Counters()
+    has_any_result(db, path_query(2), counters=c)
+    # The acyclic route uses semijoins, not generic-join probes.
+    assert c.hash_probes > 0 or c.tuples_read > 0
+
+    graph = random_graph_database(30, 8, seed=2)
+    assert has_any_result(graph, triangle_query(("E", "E", "E"))) == (
+        len(generic_join(graph, triangle_query(("E", "E", "E")))) > 0
+    )
+
+
+def test_batch_enumerate_is_sorted_and_deterministic():
+    db = path_database(2, 30, 4, seed=3)
+    q = path_query(2)
+    once = list(batch_enumerate(db, q))
+    twice = list(batch_enumerate(db, q))
+    assert once == twice
+    weights = [w for _, w in once]
+    assert weights == sorted(weights)
+
+
+def test_batch_on_cyclic_uses_generic_join():
+    db = random_graph_database(40, 9, seed=4)
+    q = cycle_query(4)
+    got = ranked_weights(batch_enumerate(db, q))
+    assert got == sorted(round(w, 9) for w in generic_join(db, q).weights)
+
+
+def test_enumerate_union_of_trees_merges_in_order():
+    db = random_graph_database(60, 10, seed=5)
+    q = cycle_query(4)
+    trees = fourcycle_union_of_trees(db, q)
+    stream = enumerate_union_of_trees(
+        trees, q.variables, SUM, lambda tdp: anyk_part(tdp, strategy="lazy")
+    )
+    weights = [w for _, w in stream]
+    assert weights == sorted(weights)
+    assert len(weights) == len(generic_join(db, q))
+
+
+def test_union_tree_dataclass_defaults():
+    db = Database([Relation("X", ("a",), [(1,)])])
+    q = ConjunctiveQuery([Atom("X", ("a",))])
+    tree = UnionTree(db, q)
+    assert tree.fixed == {}
+    assert tree.label == ""
+
+
+def test_ghd_route_reorders_output_columns():
+    db = random_graph_database(50, 9, seed=6)
+    q = cycle_query(5)
+    stream = rank_enumerate_ghd(
+        db, q, SUM, lambda tdp: anyk_part(tdp, strategy="lazy")
+    )
+    rows = {row for row, _ in stream}
+    assert rows == set(generic_join(db, q).rows)
+
+
+def test_jstar_respects_custom_order():
+    db = path_database(2, 25, 4, seed=7)
+    q = path_query(2)
+    default = ranked_weights(jstar_stream(db, q))
+    reordered = ranked_weights(jstar_stream(db, q, order=[1, 0]))
+    assert default == reordered
+
+
+def test_tdp_counters_accumulate_during_enumeration():
+    db = path_database(2, 20, 3, seed=8)
+    c = Counters()
+    tdp = TDP(db, path_query(2), counters=c)
+    preprocessing = c.total_work()
+    assert preprocessing > 0
+    list(anyk_part(tdp, strategy="lazy"))
+    assert c.total_work() > preprocessing
+    assert c.output_tuples == len(generic_join(db, path_query(2)))
+
+
+def test_single_atom_query_enumeration():
+    db = Database(
+        [Relation("R", ("a", "b"), [(1, 2), (3, 4)], [0.9, 0.1])]
+    )
+    q = ConjunctiveQuery([Atom("R", ("x", "y"))])
+    got = list(anyk_part(TDP(db, q), strategy="eager"))
+    assert [row for row, _ in got] == [(3, 4), (1, 2)]
+
+
+def test_fourcycle_with_distinct_relations():
+    """The heavy/light machinery also accepts four distinct relations."""
+    rels = []
+    graph = random_graph_database(40, 8, seed=9)["E"]
+    for i, (a, b) in enumerate(
+        [("x1", "x2"), ("x2", "x3"), ("x3", "x4"), ("x4", "x1")]
+    ):
+        clone = graph.copy(f"S{i}")
+        rels.append(clone)
+    db = Database(rels)
+    q = ConjunctiveQuery(
+        [
+            Atom("S0", ("x1", "x2")),
+            Atom("S1", ("x2", "x3")),
+            Atom("S2", ("x3", "x4")),
+            Atom("S3", ("x4", "x1")),
+        ],
+        name="C4distinct",
+    )
+    trees = fourcycle_union_of_trees(db, q)
+    from collections import Counter as Multiset
+
+    from repro.joins.yannakakis import evaluate as yk
+
+    got = []
+    for tree in trees:
+        out = yk(tree.database, tree.query)
+        for row, w in zip(out.rows, out.weights):
+            binding = dict(zip(out.schema, row))
+            binding.update(tree.fixed)
+            got.append(
+                (tuple(binding[v] for v in q.variables), round(w, 9))
+            )
+    expected = Multiset(
+        (row, round(w, 9))
+        for row, w in zip(*(lambda r: (r.rows, r.weights))(generic_join(db, q)))
+    )
+    assert Multiset(got) == expected

@@ -1,0 +1,157 @@
+"""Tests for labeled-graph tree-pattern retrieval."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.patterns.graph import LabeledGraph, random_labeled_graph
+from repro.patterns.pattern import TreePattern
+from repro.patterns.search import count_matches, find_patterns
+from repro.query.cq import QueryError
+from repro.query.hypergraph import is_acyclic
+
+
+def _chain_graph() -> LabeledGraph:
+    g = LabeledGraph()
+    for node, label in [(1, "A"), (2, "B"), (3, "B"), (4, "C")]:
+        g.add_node(node, label)
+    g.add_edge(1, 2, 0.5)
+    g.add_edge(1, 3, 0.2)
+    g.add_edge(2, 4, 0.1)
+    g.add_edge(3, 4, 0.9)
+    return g
+
+
+def _brute_force(graph, pattern):
+    """All homomorphisms by exhaustive assignment (test oracle)."""
+    names = pattern.node_names()
+    nodes = list(graph.nodes())
+    adjacency = {
+        u: {(v, w) for v, w in graph.out_edges(u)} for u in nodes
+    }
+    structure = []
+
+    def edges_of(node, parent=None):
+        for child in node.children:
+            structure.append((node.name, child.name))
+            edges_of(child)
+
+    edges_of(pattern.root)
+    labels = {
+        n.name: n.label
+        for n in (pattern._nodes[name] for name in names)
+        if n.label is not None
+    }
+    matches = []
+    for assignment in itertools.product(nodes, repeat=len(names)):
+        mapping = dict(zip(names, assignment))
+        if any(graph.label_of(mapping[n]) != lab for n, lab in labels.items()):
+            continue
+        weight = 0.0
+        ok = True
+        for parent, child in structure:
+            found = [
+                w for v, w in graph.out_edges(mapping[parent]) if v == mapping[child]
+            ]
+            if not found:
+                ok = False
+                break
+            weight += found[0]  # graphs in these tests have no parallel edges
+        if ok:
+            matches.append((weight, mapping))
+    matches.sort(key=lambda pair: pair[0])
+    return matches
+
+
+def test_labeled_graph_validation():
+    g = LabeledGraph()
+    g.add_node(1, "A")
+    with pytest.raises(ValueError, match="already has label"):
+        g.add_node(1, "B")
+    with pytest.raises(ValueError, match="no label"):
+        g.add_edge(1, 99, 0.1)
+
+
+def test_pattern_builder_validation():
+    p = TreePattern("r", "A")
+    p.add_child("r", "c1", "B")
+    with pytest.raises(QueryError, match="already has"):
+        p.add_child("r", "c1")
+    with pytest.raises(QueryError, match="no node"):
+        p.add_child("zz", "c2")
+    assert p.node_names() == ["r", "c1"]
+    assert p.num_edges() == 1
+
+
+def test_compiled_query_is_acyclic():
+    g = _chain_graph()
+    p = TreePattern("r", "A").add_child("r", "m", "B").add_child("m", "l", "C")
+    query = p.compile_to_query(g)
+    assert is_acyclic(query)
+
+
+def test_unknown_label_fails_early():
+    g = _chain_graph()
+    p = TreePattern("r", "Z")
+    p.add_child("r", "c")
+    with pytest.raises(QueryError, match="does not occur"):
+        p.compile_to_query(g)
+
+
+def test_simple_chain_pattern_ranking():
+    g = _chain_graph()
+    p = TreePattern("top", "A").add_child("top", "mid", "B").add_child(
+        "mid", "leaf", "C"
+    )
+    got = list(find_patterns(g, p))
+    # Two matches: 1->2->4 (0.6) and 1->3->4 (1.1).
+    assert len(got) == 2
+    assert got[0][0] == {"top": 1, "mid": 2, "leaf": 4}
+    assert got[0][1] == pytest.approx(0.6)
+    assert got[1][1] == pytest.approx(1.1)
+
+
+def test_star_pattern_with_unlabeled_nodes():
+    g = _chain_graph()
+    p = TreePattern("hub", "A")
+    p.add_child("hub", "c1")
+    p.add_child("hub", "c2")
+    got = list(find_patterns(g, p))
+    # Homomorphisms: both children over {2,3} independently: 4 matches.
+    assert len(got) == 4
+    weights = [round(w, 9) for _, w in got]
+    assert weights == sorted(weights)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=50),
+    edges=st.integers(min_value=0, max_value=20),
+)
+def test_matches_brute_force_on_random_graphs(seed, edges):
+    graph = random_labeled_graph(6, edges, labels=("A", "B"), seed=seed)
+    pattern = TreePattern("r", "A").add_child("r", "u", "B").add_child("r", "v")
+    oracle = _brute_force(graph, pattern)
+    got = list(find_patterns(graph, pattern))
+    assert [round(w, 9) for _, w in got] == [round(w, 9) for w, _ in oracle]
+
+
+def test_k_truncation_and_methods_agree():
+    graph = random_labeled_graph(20, 60, seed=7)
+    pattern = TreePattern("r").add_child("r", "a").add_child("a", "b")
+    full = [round(w, 9) for _, w in find_patterns(graph, pattern)]
+    assert [
+        round(w, 9) for _, w in find_patterns(graph, pattern, k=5)
+    ] == full[:5]
+    rec = [round(w, 9) for _, w in find_patterns(graph, pattern, method="rec")]
+    assert rec == full
+
+
+def test_count_matches_equals_enumeration():
+    graph = random_labeled_graph(15, 40, seed=3)
+    pattern = TreePattern("r", "A").add_child("r", "c1").add_child("r", "c2", "B")
+    assert count_matches(graph, pattern) == sum(
+        1 for _ in find_patterns(graph, pattern)
+    )

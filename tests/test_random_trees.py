@@ -1,0 +1,109 @@
+"""Property tests on random tree-shaped queries.
+
+Paths and stars are the extreme join-tree shapes; these tests generate
+random trees in between (random parent pointers, mixed arities) and check
+the full pipeline on them: GYO recognizes them as acyclic, every engine
+agrees, any-k enumerates exactly, and the factorized count matches.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anyk.api import rank_enumerate
+from repro.anyk.ranking import MAX
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.factorized import FactorizedRepresentation, count_results
+from repro.joins.base import multiset
+from repro.joins.generic_join import evaluate as generic_join
+from repro.joins.naive import evaluate as naive_join
+from repro.joins.yannakakis import evaluate as yannakakis_join
+from repro.query.cq import Atom, ConjunctiveQuery
+from repro.query.hypergraph import gyo_reduction
+
+from conftest import ranked_weights, weight_strategy
+
+
+@st.composite
+def tree_query_db(draw, max_atoms: int = 4, max_size: int = 7, domain: int = 3):
+    """A random tree-shaped query with its database.
+
+    Atom i > 0 attaches to a random earlier atom j, sharing variable
+    ``v{j}`` and introducing ``v{i}``; some atoms get an extra private
+    variable (arity 3), so join trees of every shape and mixed arities
+    appear.
+    """
+    atom_count = draw(st.integers(min_value=1, max_value=max_atoms))
+    atoms = []
+    schemas = []
+    for i in range(atom_count):
+        if i == 0:
+            variables = [f"v0"]
+        else:
+            parent = draw(st.integers(min_value=0, max_value=i - 1))
+            variables = [f"v{parent}", f"v{i}"]
+        if draw(st.booleans()):
+            variables.append(f"w{i}")  # private extra variable
+        atoms.append(Atom(f"R{i}", tuple(variables)))
+        schemas.append(tuple(f"c{p}" for p in range(len(variables))))
+
+    db = Database()
+    for i, (atom, schema) in enumerate(zip(atoms, schemas)):
+        size = draw(st.integers(min_value=0, max_value=max_size))
+        rows = [
+            tuple(
+                draw(st.integers(min_value=0, max_value=domain - 1))
+                for _ in schema
+            )
+            for _ in range(size)
+        ]
+        weights = [draw(weight_strategy) for _ in range(size)]
+        db.add(Relation(f"R{i}", schema, rows, weights))
+    return db, ConjunctiveQuery(atoms, name="RandomTree")
+
+
+@settings(max_examples=40, deadline=None)
+@given(tree_query_db())
+def test_tree_queries_are_acyclic(db_and_query):
+    _, query = db_and_query
+    tree = gyo_reduction(query)
+    assert tree is not None
+    assert tree.satisfies_running_intersection()
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree_query_db())
+def test_engines_agree_on_tree_queries(db_and_query):
+    db, query = db_and_query
+    reference = multiset(naive_join(db, query))
+    assert multiset(yannakakis_join(db, query)) == reference
+    assert multiset(generic_join(db, query)) == reference
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree_query_db())
+def test_anyk_exact_on_tree_queries(db_and_query):
+    db, query = db_and_query
+    expected = sorted(round(w, 9) for w in naive_join(db, query).weights)
+    for method in ("part:lazy", "part:take2", "part:all", "rec"):
+        got = ranked_weights(rank_enumerate(db, query, method=method))
+        assert got == expected, method
+
+
+@settings(max_examples=25, deadline=None)
+@given(tree_query_db())
+def test_anyk_max_ranking_on_tree_queries(db_and_query):
+    db, query = db_and_query
+    expected = sorted(
+        round(w, 9) for w in naive_join(db, query, combine=max).weights
+    )
+    got = ranked_weights(rank_enumerate(db, query, ranking=MAX))
+    assert got == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(tree_query_db())
+def test_factorized_count_on_tree_queries(db_and_query):
+    db, query = db_and_query
+    frep = FactorizedRepresentation(db, query)
+    assert count_results(frep) == len(naive_join(db, query))

@@ -1,0 +1,121 @@
+"""Tests for HRJN / HRJN* rank joins."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.database import Database
+from repro.data.generators import rank_join_database
+from repro.data.relation import Relation
+from repro.joins.base import atom_relation
+from repro.joins.naive import evaluate as naive_join
+from repro.query.cq import path_query
+from repro.topk.rank_join import HRJN, RelationScan, rank_join_stream, rank_join_topk
+from repro.util.counters import Counters
+
+from conftest import multiset_of, path_db_strategy, ranked_weights
+
+
+def test_relation_scan_pulls_in_weight_order():
+    rel = Relation("R", ("a",), [(1,), (2,), (3,)], [0.5, 0.1, 0.9])
+    scan = RelationScan(rel)
+    pulls = [scan.pull() for _ in range(4)]
+    assert pulls[0] == ((2,), 0.1)
+    assert pulls[1] == ((1,), 0.5)
+    assert pulls[2] == ((3,), 0.9)
+    assert pulls[3] is None
+    assert scan.depth == 3
+
+
+def test_hrjn_rejects_unknown_strategy():
+    rel = Relation("R", ("a",), [(1,)])
+    with pytest.raises(ValueError):
+        HRJN(RelationScan(rel), RelationScan(rel), strategy="bogus")
+
+
+@settings(max_examples=30, deadline=None)
+@given(path_db_strategy(max_length=2))
+def test_full_enumeration_matches_sorted_join(db_and_length):
+    db, length = db_and_length
+    q = path_query(length)
+    expected = sorted(round(w, 9) for w in naive_join(db, q).weights)
+    got = ranked_weights(rank_join_stream(db, q))
+    assert got == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(path_db_strategy(max_length=3), st.integers(min_value=1, max_value=5))
+def test_topk_is_prefix_of_full_ranking(db_and_length, k):
+    db, length = db_and_length
+    q = path_query(length)
+    expected = sorted(round(w, 9) for w in naive_join(db, q).weights)
+    got = ranked_weights(rank_join_topk(db, q, k=k))
+    assert got == expected[: min(k, len(expected))]
+
+
+@settings(max_examples=20, deadline=None)
+@given(path_db_strategy(max_length=2))
+def test_corner_strategy_same_results(db_and_length):
+    db, length = db_and_length
+    q = path_query(length)
+    alt = ranked_weights(rank_join_stream(db, q, strategy="alternate"))
+    cor = ranked_weights(rank_join_stream(db, q, strategy="corner"))
+    assert alt == cor
+
+
+def test_output_is_nondecreasing():
+    db = rank_join_database(200, 20, seed=1)
+    weights = ranked_weights(rank_join_stream(db, path_query(2)))
+    assert weights == sorted(weights)
+
+
+def test_three_way_composition():
+    db = Database(
+        [
+            Relation("R1", ("A1", "A2"), [(i, i % 2) for i in range(6)],
+                     [0.1 * i for i in range(6)]),
+            Relation("R2", ("A2", "A3"), [(i % 2, i) for i in range(6)],
+                     [0.05 * i for i in range(6)]),
+            Relation("R3", ("A3", "A4"), [(i, i + 10) for i in range(6)],
+                     [0.02 * i for i in range(6)]),
+        ]
+    )
+    q = path_query(3)
+    expected = sorted(round(w, 9) for w in naive_join(db, q).weights)
+    assert ranked_weights(rank_join_stream(db, q)) == expected
+
+
+def test_rows_match_naive_multiset():
+    db = rank_join_database(50, 5, seed=2, num_results=6)
+    q = path_query(2)
+    got = list(rank_join_stream(db, q))
+    assert multiset_of(got) == multiset_of(
+        zip(naive_join(db, q).rows, naive_join(db, q).weights)
+    )
+
+
+def test_depth_scales_with_winner_depth():
+    """E6's shape: accesses grow with the depth of the top result."""
+    accesses = {}
+    for depth in (10, 200):
+        db = rank_join_database(400, depth, seed=3)
+        c = Counters()
+        rank_join_topk(db, path_query(2), k=1, counters=c)
+        accesses[depth] = c.sorted_accesses
+    assert accesses[200] > 2 * accesses[10]
+
+
+def test_k_validation():
+    db = rank_join_database(20, 2, seed=0)
+    with pytest.raises(ValueError):
+        rank_join_topk(db, path_query(2), k=0)
+
+
+def test_empty_input_stream_terminates():
+    db = Database(
+        [
+            Relation("R1", ("A1", "A2")),
+            Relation("R2", ("A2", "A3"), [(1, 2)]),
+        ]
+    )
+    assert rank_join_topk(db, path_query(2), k=3) == []

@@ -1,0 +1,85 @@
+"""Tests for ranking functions (selective dioids)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.anyk.ranking import ALL_RANKINGS, FLOAT_RANKINGS, LEX, MAX, PRODUCT, SUM
+
+positive = st.integers(min_value=1, max_value=1000).map(lambda i: i / 16.0)
+anyfloat = st.integers(min_value=-1000, max_value=1000).map(lambda i: i / 16.0)
+
+
+def test_identities():
+    assert SUM.combine(SUM.identity, 3.0) == 3.0
+    assert MAX.combine(MAX.identity, 3.0) == 3.0
+    assert PRODUCT.combine(PRODUCT.identity, 3.0) == 3.0
+    assert LEX.combine(LEX.identity, (3.0,)) == (3.0,)
+
+
+@given(anyfloat, anyfloat, anyfloat)
+def test_sum_max_monotone(a, b, c):
+    for ranking in (SUM, MAX):
+        la, lb, lc = ranking.lift(a), ranking.lift(b), ranking.lift(c)
+        if la <= lb:
+            assert ranking.combine(lc, la) <= ranking.combine(lc, lb)
+            assert ranking.combine(la, lc) <= ranking.combine(lb, lc)
+
+
+@given(positive, positive)
+def test_product_raw_combine_consistent_with_lift(a, b):
+    lifted = PRODUCT.combine(PRODUCT.lift(a), PRODUCT.lift(b))
+    raw = PRODUCT.lift(PRODUCT.float_combine()(a, b))
+    assert lifted == pytest.approx(raw)
+
+
+@given(anyfloat, anyfloat)
+def test_sum_max_raw_combine_consistent(a, b):
+    for ranking in (SUM, MAX):
+        lifted = ranking.combine(ranking.lift(a), ranking.lift(b))
+        raw = ranking.lift(ranking.float_combine()(a, b))
+        assert lifted == pytest.approx(raw)
+
+
+def test_product_rejects_nonpositive_weights():
+    with pytest.raises(ValueError):
+        PRODUCT.lift(0.0)
+    with pytest.raises(ValueError):
+        PRODUCT.lift(-1.0)
+
+
+def test_lex_is_not_float_based():
+    assert not LEX.float_based
+    with pytest.raises(TypeError):
+        LEX.float_combine()
+
+
+@given(
+    st.lists(anyfloat, min_size=1, max_size=4),
+    st.lists(anyfloat, min_size=1, max_size=4),
+)
+def test_lex_concatenation_and_order(xs, ys):
+    wx = LEX.combine_many(LEX.lift(x) for x in xs)
+    wy = LEX.combine_many(LEX.lift(y) for y in ys)
+    assert LEX.combine(wx, wy) == tuple(xs) + tuple(ys)
+    # Total order: any two equal-length vectors compare.
+    if len(wx) == len(wy):
+        assert (wx < wy) or (wy < wx) or (wx == wy)
+
+
+def test_combine_many_orders_left_to_right():
+    assert SUM.combine_many([1.0, 2.0, 3.0]) == 6.0
+    assert LEX.combine_many([(1.0,), (2.0,)]) == (1.0, 2.0)
+    assert SUM.combine_many([]) == SUM.identity
+
+
+def test_float_rankings_listed():
+    assert SUM in FLOAT_RANKINGS
+    assert LEX not in FLOAT_RANKINGS
+    assert set(FLOAT_RANKINGS) <= set(ALL_RANKINGS)
+
+
+def test_repr_contains_name():
+    assert "sum" in repr(SUM)

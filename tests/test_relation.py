@@ -1,0 +1,122 @@
+"""Tests for the weighted relation substrate."""
+
+import math
+
+import pytest
+
+from repro.data.relation import Relation, SchemaError
+
+
+def test_basic_construction_and_iteration():
+    r = Relation("R", ("a", "b"), [(1, 2), (3, 4)], [0.5, 0.25])
+    assert len(r) == 2
+    assert list(r) == [(1, 2), (3, 4)]
+    assert r.weights == [0.5, 0.25]
+    assert r.arity == 2
+
+
+def test_default_weights_are_zero():
+    r = Relation("R", ("a",), [(1,), (2,)])
+    assert r.weights == [0.0, 0.0]
+
+
+def test_empty_schema_rejected():
+    with pytest.raises(SchemaError):
+        Relation("R", ())
+
+
+def test_duplicate_attributes_rejected():
+    with pytest.raises(SchemaError):
+        Relation("R", ("a", "a"))
+
+
+def test_arity_mismatch_rejected():
+    r = Relation("R", ("a", "b"))
+    with pytest.raises(SchemaError):
+        r.add((1,))
+    with pytest.raises(SchemaError):
+        r.add((1, 2, 3))
+
+
+def test_weight_row_count_mismatch_rejected():
+    with pytest.raises(SchemaError):
+        Relation("R", ("a",), [(1,)], [0.1, 0.2])
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+def test_non_finite_weights_rejected(bad):
+    r = Relation("R", ("a",))
+    with pytest.raises(SchemaError):
+        r.add((1,), bad)
+
+
+def test_positions_and_key_of():
+    r = Relation("R", ("a", "b", "c"))
+    assert r.positions(("c", "a")) == (2, 0)
+    assert r.key_of((10, 20, 30), ("c", "a")) == (30, 10)
+    with pytest.raises(SchemaError):
+        r.positions(("missing",))
+
+
+def test_index_on_groups_rows():
+    r = Relation("R", ("a", "b"), [(1, 9), (1, 8), (2, 9)])
+    index = r.index_on(("a",))
+    assert index[(1,)] == [0, 1]
+    assert index[(2,)] == [2]
+    assert set(r.distinct_keys(("b",))) == {(9,), (8,)}
+
+
+def test_index_invalidated_on_mutation():
+    r = Relation("R", ("a",), [(1,)])
+    first = r.index_on(("a",))
+    assert first[(1,)] == [0]
+    r.add((1,))
+    assert r.index_on(("a",))[(1,)] == [0, 1]
+
+
+def test_index_is_cached_between_reads():
+    r = Relation("R", ("a",), [(1,)])
+    assert r.index_on(("a",)) is r.index_on(("a",))
+
+
+def test_project_keeps_weights_and_duplicates():
+    r = Relation("R", ("a", "b"), [(1, 2), (1, 3)], [0.1, 0.2])
+    p = r.project(("a",))
+    assert p.rows == [(1,), (1,)]
+    assert p.weights == [0.1, 0.2]
+
+
+def test_select_filters_rows():
+    r = Relation("R", ("a",), [(1,), (2,), (3,)], [0.1, 0.2, 0.3])
+    s = r.select(lambda row: row[0] >= 2)
+    assert s.rows == [(2,), (3,)]
+    assert s.weights == [0.2, 0.3]
+
+
+def test_rename_changes_schema_only():
+    r = Relation("R", ("a", "b"), [(1, 2)], [0.5])
+    renamed = r.rename({"a": "x"})
+    assert renamed.schema == ("x", "b")
+    assert renamed.rows == [(1, 2)]
+    assert renamed.weights == [0.5]
+
+
+def test_copy_is_independent():
+    r = Relation("R", ("a",), [(1,)])
+    c = r.copy("C")
+    c.add((2,))
+    assert len(r) == 1
+    assert len(c) == 2
+    assert c.name == "C"
+
+
+def test_sorted_by_weight_ascending_with_ties_on_rows():
+    r = Relation("R", ("a",), [(3,), (1,), (2,)], [0.5, 0.5, 0.1])
+    s = r.sorted_by_weight()
+    assert s.rows == [(2,), (1,), (3,)]
+    assert s.weights == [0.1, 0.5, 0.5]
+
+
+def test_as_set_drops_duplicates():
+    r = Relation("R", ("a",), [(1,), (1,), (2,)])
+    assert r.as_set() == {(1,), (2,)}

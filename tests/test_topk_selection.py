@@ -1,0 +1,114 @@
+"""Tests for FA, TA and NRA against the brute-force oracle, plus the
+access-cost claims of experiments E4/E5."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.generators import scored_lists
+from repro.topk.access import VerticalSource, min_aggregate, sum_aggregate
+from repro.topk.fagin import fagins_algorithm
+from repro.topk.nra import nra
+from repro.topk.threshold import threshold_algorithm
+from repro.util.counters import Counters
+
+from conftest import scored_lists_strategy
+
+
+def _true_score_map(lists, aggregate=sum_aggregate):
+    index = [{obj: s for obj, s in column} for column in lists]
+    universe = [obj for obj, _ in lists[0]]
+    return {obj: aggregate([m[obj] for m in index]) for obj in universe}
+
+
+def _assert_topk_scores(lists, got_objects, k, aggregate=sum_aggregate):
+    """The returned objects' true scores must match the oracle top-k
+    multiset (object identity may differ under ties)."""
+    scores = _true_score_map(lists, aggregate)
+    oracle = sorted((s for s in scores.values()), reverse=True)[:k]
+    got = sorted((scores[o] for o in got_objects), reverse=True)
+    assert [round(x, 9) for x in got] == [round(x, 9) for x in oracle]
+
+
+@settings(max_examples=40, deadline=None)
+@given(scored_lists_strategy(), st.integers(min_value=1, max_value=6))
+def test_ta_correct(lists, k):
+    k = min(k, len(lists[0]))
+    got = threshold_algorithm(VerticalSource(lists), k)
+    assert len(got) == k
+    _assert_topk_scores(lists, [o for o, _ in got], k)
+    # TA reports exact scores, best first.
+    scores = [s for _, s in got]
+    assert scores == sorted(scores, reverse=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(scored_lists_strategy(), st.integers(min_value=1, max_value=6))
+def test_fa_correct(lists, k):
+    k = min(k, len(lists[0]))
+    got = fagins_algorithm(VerticalSource(lists), k)
+    assert len(got) == k
+    _assert_topk_scores(lists, [o for o, _ in got], k)
+
+
+@settings(max_examples=40, deadline=None)
+@given(scored_lists_strategy(), st.integers(min_value=1, max_value=6))
+def test_nra_correct_set(lists, k):
+    k = min(k, len(lists[0]))
+    got = nra(VerticalSource(lists), k)
+    assert len(got) == k
+    _assert_topk_scores(lists, [o for o, _ in got], k)
+
+
+@settings(max_examples=20, deadline=None)
+@given(scored_lists_strategy(max_lists=2))
+def test_ta_with_min_aggregate(lists):
+    got = threshold_algorithm(VerticalSource(lists), 1, aggregate=min_aggregate)
+    _assert_topk_scores(lists, [o for o, _ in got], 1, aggregate=min_aggregate)
+
+
+def test_k_validation():
+    lists = scored_lists(5, 2, seed=0)
+    for algo in (threshold_algorithm, fagins_algorithm, nra):
+        with pytest.raises(ValueError):
+            algo(VerticalSource(lists), 0)
+
+
+def test_k_larger_than_universe():
+    lists = scored_lists(4, 2, seed=1)
+    got = threshold_algorithm(VerticalSource(lists), 10)
+    assert len(got) == 4
+
+
+def test_nra_never_uses_random_access():
+    lists = scored_lists(60, 3, "independent", seed=2)
+    c = Counters()
+    nra(VerticalSource(lists, c), 5)
+    assert c.random_accesses == 0
+    assert c.sorted_accesses > 0
+
+
+def test_ta_stops_early_on_correlated_inputs():
+    """E4's shape: few accesses when lists agree."""
+    lists = scored_lists(500, 3, "correlated", seed=3)
+    c = Counters()
+    threshold_algorithm(VerticalSource(lists, c), 5)
+    assert c.total_accesses() < 500  # a fraction of the 1500 entries
+
+
+def test_ta_beats_fa_on_independent_inputs():
+    """E4's shape: FA's phase-1 'seen everywhere' rule costs more."""
+    lists = scored_lists(400, 3, "independent", seed=4)
+    c_ta, c_fa = Counters(), Counters()
+    threshold_algorithm(VerticalSource(lists, c_ta), 10)
+    fagins_algorithm(VerticalSource(lists, c_fa), 10)
+    assert c_ta.total_accesses() <= c_fa.total_accesses()
+
+
+def test_inverse_correlation_forces_deep_descent():
+    lists_easy = scored_lists(300, 2, "correlated", seed=5)
+    lists_hard = scored_lists(300, 2, "inverse", seed=5)
+    c_easy, c_hard = Counters(), Counters()
+    threshold_algorithm(VerticalSource(lists_easy, c_easy), 3)
+    threshold_algorithm(VerticalSource(lists_hard, c_hard), 3)
+    assert c_hard.total_accesses() > c_easy.total_accesses()

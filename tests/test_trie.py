@@ -1,0 +1,122 @@
+"""Tests for sorted tries and Leapfrog-style iterators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.relation import Relation
+from repro.joins.trie import Trie, TrieIterator, ordkey
+
+
+def _trie(rows, weights=None, order=("a", "b")):
+    rel = Relation("R", ("a", "b"), rows, weights)
+    return Trie(rel, order)
+
+
+def test_trie_requires_schema_permutation():
+    rel = Relation("R", ("a", "b"))
+    with pytest.raises(ValueError):
+        Trie(rel, ("a", "c"))
+
+
+def test_first_level_values_sorted_distinct():
+    t = _trie([(2, 1), (1, 1), (2, 3), (1, 2)])
+    it = t.iterator()
+    it.open()
+    values = []
+    while not it.at_end():
+        values.append(it.key())
+        it.next()
+    assert values == [1, 2]
+
+
+def test_descend_and_up():
+    t = _trie([(1, 5), (1, 7), (2, 6)])
+    it = t.iterator()
+    it.open()
+    assert it.key() == 1
+    it.open()
+    assert it.key() == 5
+    it.next()
+    assert it.key() == 7
+    it.up()
+    it.next()
+    assert it.key() == 2
+    it.open()
+    assert it.key() == 6
+
+
+def test_seek_jumps_forward():
+    t = _trie([(i, 0) for i in range(0, 20, 2)])
+    it = t.iterator()
+    it.open()
+    it.seek(7)
+    assert it.key() == 8
+    it.seek(8)
+    assert it.key() == 8  # seek to first >= target
+    it.seek(99)
+    assert it.at_end()
+
+
+def test_weight_lists_preserve_duplicates():
+    t = _trie([(1, 5), (1, 5)], weights=[0.25, 0.75])
+    it = t.iterator()
+    it.open()
+    it.open()
+    assert sorted(it.weights()) == [0.25, 0.75]
+
+
+def test_weights_only_at_last_level():
+    t = _trie([(1, 5)])
+    it = t.iterator()
+    it.open()
+    with pytest.raises(RuntimeError):
+        it.weights()
+
+
+def test_cannot_open_below_last_level():
+    t = _trie([(1, 5)])
+    it = t.iterator()
+    it.open()
+    it.open()
+    with pytest.raises(RuntimeError):
+        it.open()
+
+
+def test_alternate_attribute_order():
+    t = _trie([(1, 9), (2, 8)], order=("b", "a"))
+    it = t.iterator()
+    it.open()
+    assert it.key() == 8  # first level is now b
+
+
+def test_ordkey_mixed_types_total_order():
+    values = ["x", 3, "a", 1]
+    ordered = sorted(values, key=ordkey)
+    assert ordered == [1, 3, "a", "x"]  # ints before strs by type name
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=30,
+    )
+)
+def test_trie_enumerates_distinct_sorted_pairs(rows):
+    t = _trie(rows)
+    it = t.iterator()
+    pairs = []
+    it.open()
+    while not it.at_end():
+        a = it.key()
+        it.open()
+        while not it.at_end():
+            pairs.append((a, it.key()))
+            it.next()
+        it.up()
+        it.next()
+    assert pairs == sorted(set(rows))
