@@ -1,3 +1,43 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+with open("README.md", encoding="utf-8") as handle:
+    LONG_DESCRIPTION = handle.read()
+
+setup(
+    name="repro-anyk",
+    version="1.1.0",
+    description=(
+        "Optimal joins meet top-k: ranked (any-k) enumeration for "
+        "conjunctive queries, with a SQL front-end and cost-based engine "
+        "router (reproduction of Tziavelis, Gatterbauer, Riedewald, "
+        "SIGMOD 2020)"
+    ),
+    long_description=LONG_DESCRIPTION,
+    long_description_content_type="text/markdown",
+    author="paper-repo-growth",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+        "scipy",
+    ],
+    extras_require={
+        "test": ["pytest", "hypothesis"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro-sql = repro.sql.cli:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "Programming Language :: Python :: 3",
+        "Programming Language :: Python :: 3.10",
+        "Programming Language :: Python :: 3.11",
+        "Programming Language :: Python :: 3.12",
+        "Topic :: Database :: Database Engines/Servers",
+    ],
+)

@@ -15,6 +15,12 @@ tutorial by Tziavelis, Gatterbauer and Riedewald:
    enumeration), batch and naive-Lawler baselines, over acyclic and
    cyclic queries and multiple ranking functions.
 
+On top sits a declarative surface: a SQL front-end (:mod:`repro.sql`,
+``SELECT ... ORDER BY weight LIMIT k``, CLI ``repro-sql``) and a
+cost-based engine router (:mod:`repro.engine`, also reachable as
+``rank_enumerate(..., method="auto")``) that picks among the engines
+above by query shape, k, and AGM estimates.
+
 Quickstart::
 
     from repro import rank_enumerate, cycle_query
@@ -41,7 +47,7 @@ from repro.query import (
 )
 from repro.util.counters import Counters
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Database",

@@ -17,6 +17,10 @@ Methods (the ``method`` argument, also listed in :data:`METHODS`):
 ``lawler``
     Naive Lawler–Murty with from-scratch subproblem solving (polynomial
     delay; the strawman of experiment E10).  Acyclic queries only.
+``auto``
+    Defer the choice to the cost-based router (:mod:`repro.engine`),
+    which weighs query shape, ``k``, and the AGM bound — the same rules
+    the SQL front-end (:mod:`repro.sql`) applies to every statement.
 
 Example
 -------
@@ -49,6 +53,7 @@ from repro.query.hypergraph import gyo_reduction
 from repro.util.counters import Counters
 
 #: All anytime-capable methods accepted by :func:`rank_enumerate`.
+#: ``method="auto"`` additionally defers the choice to the router.
 METHODS: tuple[str, ...] = tuple(
     f"part:{name}" for name in sorted(STRATEGIES)
 ) + ("rec", "batch", "lawler")
@@ -88,6 +93,12 @@ def rank_enumerate(
     query.validate(db)
     if k is not None and k < 1:
         raise ValueError("k must be >= 1 when given")
+
+    if method == "auto":
+        # Deferred import: repro.engine sits above this module.
+        from repro.engine.planner import choose_method
+
+        method = choose_method(db, query, ranking=ranking, k=k)
 
     if method == "batch":
         stream = batch_enumerate(db, query, ranking=ranking, counters=counters)

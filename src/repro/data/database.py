@@ -59,6 +59,11 @@ class Database:
             return 0
         return max(len(r) for r in self._relations.values())
 
+    def sizes(self) -> dict[str, int]:
+        """Relation name -> cardinality (base stats for the engine
+        router's catalog, :class:`repro.engine.catalog.CatalogStats`)."""
+        return {name: len(r) for name, r in self._relations.items()}
+
     def total_tuples(self) -> int:
         """Total number of tuples across all relations."""
         return sum(len(r) for r in self._relations.values())

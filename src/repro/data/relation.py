@@ -165,6 +165,15 @@ class Relation:
         """Distinct projection keys on ``attrs``."""
         return self.index_on(attrs).keys()
 
+    def distinct_count(self, attrs: Sequence[str]) -> int:
+        """Number of distinct projection keys on ``attrs``.
+
+        The basic cardinality statistic the engine router's catalog pulls
+        (average fan-out = size / distinct_count); shares the lazily built
+        hash index, so repeated planning over one relation is cheap.
+        """
+        return len(self.index_on(attrs))
+
     # ------------------------------------------------------------------
     # Relational operations (copying)
     # ------------------------------------------------------------------

@@ -1,0 +1,85 @@
+"""Relation statistics for cost-based routing.
+
+The planner's raw material: per-atom cardinalities and join-key fan-outs
+pulled from the :class:`~repro.data.database.Database`.  Statistics are
+computed on demand at planning time (the library's engines assume no
+precomputation — tutorial §1's setting), so gathering them is kept to
+single passes over the relations involved in the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.database import Database
+from repro.query.cq import ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class AtomStats:
+    """Statistics of one query atom's relation."""
+
+    relation: str
+    size: int
+    #: per-variable number of distinct values in the column(s) binding it
+    distinct: dict  # variable -> int
+
+    def max_fanout(self, variable: str) -> float:
+        """Upper bound on rows per distinct value of ``variable``."""
+        d = self.distinct.get(variable, 0)
+        return float(self.size) if d == 0 else self.size / d
+
+
+@dataclass(frozen=True)
+class CatalogStats:
+    """Everything the router reads about the data."""
+
+    atoms: tuple[AtomStats, ...]
+    max_size: int  # n, the paper's size parameter
+    total_tuples: int
+
+    @classmethod
+    def gather(
+        cls,
+        db: Database,
+        query: ConjunctiveQuery,
+        with_fanouts: bool = False,
+    ) -> "CatalogStats":
+        """Gather stats for ``query``'s atoms.
+
+        ``with_fanouts`` additionally computes per-variable distinct
+        counts (an O(n) index build per bound column set).  The current
+        routing rules only read cardinalities, so the default keeps
+        planning O(1) per atom; pass ``True`` when fan-out estimates are
+        wanted.
+        """
+        cardinalities = db.sizes()
+        atoms = []
+        for index, atom in enumerate(query.atoms):
+            relation = db[atom.relation]
+            distinct = {}
+            if with_fanouts:
+                positions = query.atom_variable_positions(index)
+                for variable, cols in positions.items():
+                    attrs = tuple(relation.schema[c] for c in cols)
+                    distinct[variable] = relation.distinct_count(attrs)
+            atoms.append(
+                AtomStats(
+                    relation=atom.relation,
+                    size=cardinalities[atom.relation],
+                    distinct=distinct,
+                )
+            )
+        sizes = [a.size for a in atoms]
+        return cls(
+            atoms=tuple(atoms),
+            max_size=max(sizes) if sizes else 0,
+            total_tuples=db.total_tuples(),
+        )
+
+    @property
+    def sizes(self) -> list[int]:
+        return [a.size for a in self.atoms]
+
+    def any_empty(self) -> bool:
+        return any(a.size == 0 for a in self.atoms)

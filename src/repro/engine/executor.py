@@ -1,0 +1,141 @@
+"""Plan execution: run a routed plan and emit (row, weight) pairs.
+
+The executor is deliberately thin — all heavy lifting lives in the engines
+it dispatches to (:func:`repro.anyk.rank_enumerate`, the batch baseline,
+or the HRJN rank-join middleware).  Its own responsibilities:
+
+- apply constant filters by materializing filtered copies of the affected
+  base relations (σ before ⋈, the one classical rewrite that is always
+  safe and always pays off);
+- implement ``DESC`` by negating weights (ascending enumeration of the
+  negated instance is exactly heaviest-first of the original — SUM only,
+  enforced by the analyzer);
+- project full result rows onto the SELECT list (bag semantics: the
+  ranked stream of full rows is mapped, never deduplicated);
+- truncate to LIMIT.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, Optional, TYPE_CHECKING
+
+from repro.anyk.api import rank_enumerate
+from repro.data.database import Database
+from repro.query.cq import Atom, ConjunctiveQuery
+from repro.engine.planner import Plan
+from repro.topk.rank_join import rank_join_stream
+from repro.util.counters import Counters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.sql.analyzer import CompiledQuery
+
+
+def negated_database(db: Database) -> Database:
+    """Every relation replaced by a weight-negated copy (same names).
+
+    Ascending enumeration over the negated instance is exactly
+    heaviest-first enumeration of the original — the DESC implementation.
+    """
+    negated = Database()
+    for relation in db:
+        copy = relation.copy()
+        copy.weights = [-w for w in copy.weights]
+        negated.add(copy)
+    return negated
+
+
+def filtered_database(
+    db: Database, compiled: "CompiledQuery", negate: bool = True
+) -> tuple[Database, ConjunctiveQuery]:
+    """The working database and query after filter pushdown and DESC.
+
+    Atoms whose FROM entry carries constant filters point at materialized
+    filtered copies (named ``<relation>__sigma<i>``); untouched atoms keep
+    their base relations.  For ``DESC``, every participating relation is
+    replaced by a weight-negated copy under its original name —
+    ``negate=False`` skips that (size-preserving) step for callers that
+    only cost the plan and never enumerate (EXPLAIN).
+    """
+    cq = compiled.cq
+    table_names = [t for t in compiled.alias_to_relation]
+    atoms: list[Atom] = []
+    working = Database()
+    for index, atom in enumerate(cq.atoms):
+        alias = table_names[index]
+        filters = [f for f in compiled.filters if f.table == alias]
+        if filters:
+            relation = db[atom.relation]
+            name = f"{atom.relation}__sigma{index}"
+            selected = relation
+            for f in filters:
+                position = relation.positions((f.column,))[0]
+                selected = selected.select(f.predicate(position), name=name)
+            selected.name = name
+            working.replace(selected)
+            atoms.append(Atom(name, atom.variables))
+        else:
+            if atom.relation not in working:
+                working.add(db[atom.relation])
+            atoms.append(atom)
+    if compiled.descending and negate:
+        working = negated_database(working)
+    rewritten = (
+        cq
+        if all(a.relation == b.relation for a, b in zip(atoms, cq.atoms))
+        else ConjunctiveQuery(atoms, name=cq.name)
+    )
+    return working, rewritten
+
+
+def execute(
+    db: Database,
+    compiled: "CompiledQuery",
+    plan: Plan,
+    counters: Optional[Counters] = None,
+) -> Iterator[tuple[tuple, Any]]:
+    """Run ``plan`` for ``compiled`` over ``db``.
+
+    Yields ``(row, weight)`` with ``row`` following
+    ``compiled.output_columns`` and ``weight`` in the ranking's carrier
+    (sign-corrected for DESC).
+    """
+    if plan.working_db is not None and plan.working_cq is not None:
+        # plan_compiled already materialized the filtered instance (and
+        # costed the plan on it) — don't rebuild it.  It defers the DESC
+        # negation to us, since only enumeration needs it.
+        working, cq = plan.working_db, plan.working_cq
+        if compiled.descending:
+            working = negated_database(working)
+    else:
+        working, cq = filtered_database(db, compiled)
+    k = compiled.k
+
+    if plan.engine == "rank_join":
+        raw = rank_join_stream(
+            working,
+            cq,
+            counters=counters,
+            combine=compiled.ranking.float_combine(),
+        )
+        lift = compiled.ranking.lift
+        stream: Iterator[tuple[tuple, Any]] = (
+            (row, lift(weight)) for row, weight in raw
+        )
+        if k is not None:
+            stream = itertools.islice(stream, k)
+    else:
+        stream = rank_enumerate(
+            working,
+            cq,
+            ranking=compiled.ranking,
+            method=plan.engine,
+            k=k,
+            counters=counters,
+        )
+
+    positions = compiled.output_positions
+    identity = positions == tuple(range(len(cq.variables)))
+    for row, weight in stream:
+        out = row if identity else tuple(row[p] for p in positions)
+        yield out, (-weight if compiled.descending else weight)

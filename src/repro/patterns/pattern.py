@@ -73,21 +73,27 @@ class TreePattern:
             raise QueryError(f"pattern has no node {node_name!r}")
         return f"x_{node_name}"
 
+    def labels(self) -> set[str]:
+        """All label constraints appearing in the pattern."""
+        return {
+            node.label for node in self._nodes.values() if node.label is not None
+        }
+
     def compile_to_query(self, graph: LabeledGraph) -> ConjunctiveQuery:
         """The acyclic CQ whose answers are this pattern's matches.
 
-        Raises :class:`QueryError` if a constrained label does not occur
-        in the graph at all (no possible match — fail early and loudly).
+        A constrained label that does not occur in the graph simply means
+        the pattern has zero matches: the compiled query references that
+        label's (empty) unary relation, and enumeration yields nothing.
+        The search layer (:mod:`repro.patterns.search`) materializes the
+        empty relations for such labels.  Compilation itself no longer
+        depends on the graph's contents; the parameter is kept for the
+        established call signature.
         """
         atoms: list[Atom] = []
 
         def visit(node: PatternNode) -> None:
             if node.label is not None:
-                if node.label not in graph.labels():
-                    raise QueryError(
-                        f"label {node.label!r} (pattern node {node.name!r}) "
-                        "does not occur in the graph"
-                    )
                 atoms.append(
                     Atom(label_relation_name(node.label), (self.variable_of(node.name),))
                 )

@@ -14,9 +14,21 @@ from typing import Any, Hashable, Iterator, Optional
 
 from repro.anyk.api import rank_enumerate
 from repro.anyk.ranking import RankingFunction, SUM
-from repro.patterns.graph import LabeledGraph
+from repro.data.database import Database
+from repro.data.relation import Relation
+from repro.patterns.graph import LabeledGraph, label_relation_name
 from repro.patterns.pattern import TreePattern
 from repro.util.counters import Counters
+
+
+def _encode(graph: LabeledGraph, pattern: TreePattern) -> Database:
+    """The graph's relational encoding plus empty relations for pattern
+    labels absent from the graph (absent label = zero matches, not an
+    error)."""
+    db = graph.to_database()
+    for label in sorted(pattern.labels() - graph.labels()):
+        db.add(Relation(label_relation_name(label), ("node",)))
+    return db
 
 
 def find_patterns(
@@ -33,7 +45,7 @@ def find_patterns(
     (homomorphism semantics — distinct pattern nodes may coincide).
     """
     query = pattern.compile_to_query(graph)
-    db = graph.to_database()
+    db = _encode(graph, pattern)
     positions = {
         name: query.variables.index(pattern.variable_of(name))
         for name in pattern.node_names()
@@ -49,5 +61,5 @@ def count_matches(graph: LabeledGraph, pattern: TreePattern) -> int:
     from repro.factorized import FactorizedRepresentation, count_results
 
     query = pattern.compile_to_query(graph)
-    frep = FactorizedRepresentation(graph.to_database(), query)
+    frep = FactorizedRepresentation(_encode(graph, pattern), query)
     return count_results(frep)

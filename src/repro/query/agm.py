@@ -53,10 +53,20 @@ class FractionalCover:
         return sum(self.weights)
 
 
+#: Memo for solved cover LPs.  The LP depends only on the query's
+#: hyperedge structure and the per-atom objective coefficients, both tiny
+#: and hashable — and the same structures recur constantly (every
+#: decomposition candidate of an exhaustive `best_decomposition` search,
+#: every EXPLAIN of the same query shape), so caching turns the planner's
+#: and the width machinery's hot path into dictionary lookups.
+_COVER_CACHE: dict[tuple, FractionalCover] = {}
+_COVER_CACHE_LIMIT = 65536
+
+
 def fractional_edge_cover(
     query: ConjunctiveQuery, sizes: Optional[Sequence[int]] = None
 ) -> FractionalCover:
-    """Solve the fractional edge cover LP for ``query``.
+    """Solve the fractional edge cover LP for ``query`` (memoized).
 
     ``sizes[i]`` is the cardinality of atom i's relation; omitted sizes
     default to Euler's number so the objective equals the cover number
@@ -74,6 +84,20 @@ def fractional_edge_cover(
         # degenerate all-zero objective; the bound stays valid (it only
         # grows) and the LP stays bounded.
         logs = [math.log(max(2, s)) for s in sizes]
+
+    # Canonical key: variable names are irrelevant to the LP, only which
+    # atoms share them — encode each variable as the (sorted) tuple of
+    # atom indices containing it, deduplicated.
+    incidence = frozenset(
+        tuple(
+            i for i, atom in enumerate(query.atoms) if v in atom.variable_set
+        )
+        for v in query.variables
+    )
+    key = (incidence, atom_count, tuple(logs))
+    cached = _COVER_CACHE.get(key)
+    if cached is not None:
+        return cached
 
     # One constraint per variable: sum of x_e over atoms containing it >= 1.
     rows = []
@@ -94,10 +118,14 @@ def fractional_edge_cover(
     )
     if not result.success:  # pragma: no cover - LP is always feasible
         raise RuntimeError(f"edge cover LP failed: {result.message}")
-    return FractionalCover(
+    cover = FractionalCover(
         weights=tuple(float(x) for x in result.x),
         log_bound=float(result.fun),
     )
+    if len(_COVER_CACHE) >= _COVER_CACHE_LIMIT:  # pragma: no cover - bound
+        _COVER_CACHE.clear()
+    _COVER_CACHE[key] = cover
+    return cover
 
 
 def fractional_cover_number(query: ConjunctiveQuery) -> float:

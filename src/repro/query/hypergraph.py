@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from repro.query.cq import ConjunctiveQuery, QueryError
+from repro.query.cq import Atom, ConjunctiveQuery, QueryError
 
 
 class Hypergraph:
@@ -186,6 +186,30 @@ def join_tree_or_raise(query: ConjunctiveQuery) -> JoinTree:
             "(repro.query.decomposition) to rewrite it first"
         )
     return tree
+
+
+def is_free_connex(query: ConjunctiveQuery, free_variables: Iterable[str]) -> bool:
+    """True iff the query is free-connex acyclic w.r.t. ``free_variables``.
+
+    A CQ with free (output) variables F is *free-connex* when both the query
+    itself and the hypergraph extended with one hyperedge over F are
+    α-acyclic — the condition under which enumeration of the projection
+    achieves constant delay after linear preprocessing (Bagan, Durand,
+    Grandjean).  The engine router uses this to annotate projection plans;
+    full queries (F = all variables) reduce to plain acyclicity.
+    """
+    free = tuple(dict.fromkeys(free_variables))
+    unknown = set(free) - set(query.variables)
+    if unknown:
+        raise QueryError(f"free variables {sorted(unknown)} not in the query")
+    if gyo_reduction(query) is None:
+        return False
+    if set(free) == set(query.variables) or not free:
+        return True
+    extended = ConjunctiveQuery(
+        list(query.atoms) + [Atom("__free__", free)], name=f"{query.name}_ext"
+    )
+    return gyo_reduction(extended) is not None
 
 
 def connected_components(query: ConjunctiveQuery) -> list[list[int]]:

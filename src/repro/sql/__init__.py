@@ -1,0 +1,142 @@
+"""Declarative SQL front-end for ranked enumeration.
+
+The top-k idiom every DBMS user writes —
+
+    SELECT * FROM ... JOIN ... ORDER BY weight LIMIT k
+
+— compiled down to the library's any-k machinery instead of
+join-then-sort.  The pipeline is classic: hand-rolled lexer
+(:mod:`repro.sql.lexer`) → recursive-descent parser
+(:mod:`repro.sql.parser`) → typed AST (:mod:`repro.sql.nodes`) → semantic
+analysis against the database catalog (:mod:`repro.sql.analyzer`) →
+cost-based engine routing (:mod:`repro.engine`) → execution.
+
+Supported subset: ``SELECT <cols | *> FROM r1 [AS a] {JOIN r2 ON … | , r2}
+[WHERE equality joins AND constant filters] [ORDER BY
+weight|sum/max/product/lex(weight) [ASC|DESC]] [LIMIT k]``.  Everything
+else fails with a position-annotated :class:`SqlError`.
+
+Quickstart::
+
+    from repro.data.generators import random_graph_database
+    import repro.sql
+
+    db = random_graph_database(num_edges=2000, num_nodes=300, seed=1)
+    top = repro.sql.query(db, '''
+        SELECT * FROM E AS e1 JOIN E AS e2 ON e1.dst = e2.src
+                 JOIN E AS e3 ON e2.dst = e3.src
+                 JOIN E AS e4 ON e3.dst = e4.src AND e4.dst = e1.src
+        ORDER BY weight LIMIT 10
+    ''')
+    for row, weight in top:        # the 10 lightest 4-cycles
+        print(weight, row)
+    print(repro.sql.explain(db, "SELECT ..."))   # the routed plan
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.anyk.api import METHODS
+from repro.data.database import Database
+from repro.engine.executor import execute
+from repro.engine.planner import Plan, plan_compiled
+from repro.sql.analyzer import CompiledQuery, analyze
+from repro.sql.errors import SqlError
+from repro.sql.nodes import SelectStatement
+from repro.sql.parser import parse
+from repro.util.counters import Counters
+
+#: Engines accepted as an override (router methods + the middleware).
+ENGINES: tuple[str, ...] = METHODS + ("rank_join",)
+
+
+def _check_engine(engine: Optional[str]) -> None:
+    if engine is not None and engine not in ENGINES:
+        raise SqlError(
+            f"unknown engine {engine!r}; known engines: {', '.join(ENGINES)}"
+        )
+
+
+class SqlResult:
+    """A lazily-executed ranked result stream.
+
+    Iterating yields ``(row, weight)`` pairs exactly as
+    :func:`repro.anyk.rank_enumerate` would for the lowered query;
+    ``columns`` names the row fields and ``plan`` is the routing decision.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledQuery,
+        plan: Plan,
+        stream: Iterator[tuple[tuple, Any]],
+    ) -> None:
+        self.compiled = compiled
+        self.plan = plan
+        self.columns: tuple[str, ...] = compiled.output_columns
+        self._stream = stream
+
+    def __iter__(self) -> "SqlResult":
+        return self
+
+    def __next__(self) -> tuple[tuple, Any]:
+        return next(self._stream)
+
+    def fetchall(self) -> list[tuple[tuple, Any]]:
+        """Drain the remaining stream into a list."""
+        return list(self._stream)
+
+    def __repr__(self) -> str:
+        return (
+            f"SqlResult(columns={self.columns!r}, engine={self.plan.engine!r})"
+        )
+
+
+def query(
+    db: Database,
+    sql: str,
+    engine: Optional[str] = None,
+    counters: Optional[Counters] = None,
+) -> SqlResult:
+    """Compile, route, and execute ``sql`` over ``db``.
+
+    ``engine`` overrides the router (any :data:`repro.anyk.METHODS` entry
+    or ``"rank_join"``); omitted, the cost-based router decides.
+    """
+    _check_engine(engine)
+    compiled = analyze(db, sql)
+    plan = plan_compiled(db, compiled, engine=engine)
+    stream = execute(db, compiled, plan, counters=counters)
+    return SqlResult(compiled, plan, stream)
+
+
+def explain(db: Database, sql: str, engine: Optional[str] = None) -> str:
+    """The routed plan for ``sql``, rendered as text (no execution)."""
+    _check_engine(engine)
+    compiled = analyze(db, sql)
+    plan = plan_compiled(db, compiled, engine=engine)
+    lines = [f"sql:      {compiled.statement}"]
+    if compiled.filters:
+        lines.append(
+            "filters:  " + "; ".join(str(f) for f in compiled.filters)
+        )
+    if compiled.is_projection:
+        lines.append(
+            "project:  " + ", ".join(compiled.output_columns)
+        )
+    lines.append(plan.describe())
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CompiledQuery",
+    "Plan",
+    "SelectStatement",
+    "SqlError",
+    "SqlResult",
+    "analyze",
+    "explain",
+    "parse",
+    "query",
+]

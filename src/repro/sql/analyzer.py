@@ -1,0 +1,356 @@
+"""Semantic analysis: lower a parsed SELECT onto the CQ layer.
+
+The analyzer resolves table aliases and columns against the
+:class:`~repro.data.database.Database` catalog, classifies predicates into
+equality joins (which become shared query variables via union-find) and
+constant filters (applied to base relations before enumeration), picks the
+:class:`~repro.anyk.ranking.RankingFunction` named by ORDER BY, and emits a
+:class:`CompiledQuery` — everything the engine planner and executor need.
+
+Naming convention: each query variable is named after the first
+``alias.column`` occurrence in its equivalence class, so compiled queries
+read naturally in EXPLAIN output, e.g.::
+
+    Q(r.src, r.dst, s.dst) :- E(r.src, r.dst), E(r.dst, s.dst)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.anyk.ranking import MAX, LEX, PRODUCT, SUM, RankingFunction
+from repro.data.database import Database
+from repro.query.cq import Atom, ConjunctiveQuery
+from repro.sql.errors import SqlError
+from repro.sql.nodes import (
+    ColumnRef,
+    Comparison,
+    Literal,
+    SelectStatement,
+    TableRef,
+)
+from repro.sql.parser import parse
+
+RANKINGS: dict[str, RankingFunction] = {
+    "sum": SUM,
+    "max": MAX,
+    "product": PRODUCT,
+    "lex": LEX,
+}
+
+#: Filter predicates as plain functions, keyed by SQL operator.
+_FILTER_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Filter:
+    """One constant filter ``table.column op literal`` on a FROM entry."""
+
+    table: str  # resolved alias
+    column: str
+    op: str
+    value: Any
+
+    def predicate(self, position: int) -> Callable[[tuple], bool]:
+        """Row predicate over the owning relation (column pre-resolved)."""
+        compare = _FILTER_OPS[self.op]
+        value = self.value
+        return lambda row: _safe_compare(compare, row[position], value)
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column} {self.op} {self.value!r}"
+
+
+def _safe_compare(compare, left, right) -> bool:
+    try:
+        return bool(compare(left, right))
+    except TypeError:
+        # Mixed-type *ordered* comparisons (e.g. a string value against a
+        # numeric literal with <) have no defined order: treat the
+        # predicate as unsatisfied and drop the row.  Note = and <> never
+        # reach here — Python equality across types is well defined
+        # (unequal), so `col <> 'x'` keeps every row of a non-string
+        # column rather than emulating SQL's NULL semantics.
+        return False
+
+
+@dataclass
+class CompiledQuery:
+    """A SELECT statement lowered onto the CQ layer.
+
+    The executor enumerates ``cq`` (after applying ``filters``) under
+    ``ranking`` and maps each full result row through
+    ``output_positions``; ``descending`` asks for heaviest-first order
+    (implemented by weight negation, SUM only).
+    """
+
+    sql: str
+    statement: SelectStatement
+    cq: ConjunctiveQuery
+    ranking: RankingFunction
+    descending: bool
+    k: Optional[int]
+    output_columns: tuple[str, ...]
+    output_positions: tuple[int, ...]
+    filters: tuple[Filter, ...]
+    alias_to_relation: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_projection(self) -> bool:
+        """True when SELECT drops some query variable.
+
+        Compares *distinct* positions, so ``SELECT R.a, R.a`` over a
+        binary relation is still a projection (column b is dropped).
+        """
+        return set(self.output_positions) != set(range(len(self.cq.variables)))
+
+    @property
+    def free_variables(self) -> tuple[str, ...]:
+        """The projected (output) query variables."""
+        return tuple(self.cq.variables[p] for p in self.output_positions)
+
+
+def analyze(db: Database, sql: str) -> CompiledQuery:
+    """Parse and semantically check ``sql`` against ``db``'s catalog."""
+    statement = parse(sql)
+    return analyze_statement(db, sql, statement)
+
+
+def analyze_statement(
+    db: Database, sql: str, statement: SelectStatement
+) -> CompiledQuery:
+    tables = _resolve_tables(db, sql, statement.tables)
+    joins, filters = _classify_predicates(db, sql, tables, statement.predicates)
+    cq = _build_cq(db, tables, joins)
+    ranking, descending = _resolve_ranking(sql, statement)
+    columns, positions = _resolve_output(db, sql, tables, cq, statement.columns)
+    return CompiledQuery(
+        sql=sql,
+        statement=statement,
+        cq=cq,
+        ranking=ranking,
+        descending=descending,
+        k=statement.limit,
+        output_columns=columns,
+        output_positions=positions,
+        filters=tuple(filters),
+        alias_to_relation={t.name: t.relation for t in tables},
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables and columns
+# ----------------------------------------------------------------------
+def _resolve_tables(
+    db: Database, sql: str, tables: tuple[TableRef, ...]
+) -> list[TableRef]:
+    seen: dict[str, TableRef] = {}
+    for table in tables:
+        if table.relation not in db:
+            raise SqlError(
+                f"unknown relation {table.relation!r}; catalog has: "
+                f"{', '.join(db.names()) or '(empty database)'}",
+                sql,
+                table.pos,
+            )
+        if table.name in seen:
+            raise SqlError(
+                f"duplicate table name {table.name!r} in FROM; give the "
+                "second occurrence an alias (self-joins need one alias per "
+                "occurrence)",
+                sql,
+                table.pos,
+            )
+        seen[table.name] = table
+    return list(tables)
+
+
+def _resolve_column(
+    db: Database,
+    sql: str,
+    tables: list[TableRef],
+    ref: ColumnRef,
+) -> tuple[str, str]:
+    """Resolve to ``(alias, column)``; unqualified names must be unique."""
+    if ref.table is not None:
+        for table in tables:
+            if table.name == ref.table:
+                schema = db[table.relation].schema
+                if ref.column not in schema:
+                    raise SqlError(
+                        f"relation {table.relation!r} (as {table.name!r}) has "
+                        f"no column {ref.column!r}; its schema is "
+                        f"({', '.join(schema)})",
+                        sql,
+                        ref.pos,
+                    )
+                return table.name, ref.column
+        raise SqlError(
+            f"unknown table {ref.table!r}; FROM introduces: "
+            f"{', '.join(t.name for t in tables)}",
+            sql,
+            ref.pos,
+        )
+    owners = [t for t in tables if ref.column in db[t.relation].schema]
+    if not owners:
+        raise SqlError(
+            f"no FROM table has a column {ref.column!r}", sql, ref.pos
+        )
+    if len(owners) > 1:
+        raise SqlError(
+            f"column {ref.column!r} is ambiguous; qualify it with one of: "
+            f"{', '.join(t.name for t in owners)}",
+            sql,
+            ref.pos,
+        )
+    return owners[0].name, ref.column
+
+
+# ----------------------------------------------------------------------
+# Predicates
+# ----------------------------------------------------------------------
+def _classify_predicates(
+    db: Database,
+    sql: str,
+    tables: list[TableRef],
+    predicates: tuple[Comparison, ...],
+) -> tuple[list[tuple[tuple[str, str], tuple[str, str]]], list[Filter]]:
+    joins: list[tuple[tuple[str, str], tuple[str, str]]] = []
+    filters: list[Filter] = []
+    for predicate in predicates:
+        left_is_column = isinstance(predicate.left, ColumnRef)
+        right_is_column = isinstance(predicate.right, ColumnRef)
+        if left_is_column and right_is_column:
+            if predicate.op != "=":
+                raise SqlError(
+                    f"theta-joins ({predicate.op} between columns) are not "
+                    "supported; join predicates must be equalities",
+                    sql,
+                    predicate.pos,
+                )
+            joins.append(
+                (
+                    _resolve_column(db, sql, tables, predicate.left),
+                    _resolve_column(db, sql, tables, predicate.right),
+                )
+            )
+        elif left_is_column or right_is_column:
+            column = predicate.left if left_is_column else predicate.right
+            literal = predicate.right if left_is_column else predicate.left
+            op = predicate.op
+            if not left_is_column:  # literal op column — flip the comparison
+                op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+            alias, name = _resolve_column(db, sql, tables, column)
+            assert isinstance(literal, Literal)
+            filters.append(Filter(alias, name, op, literal.value))
+        else:
+            raise SqlError(
+                "predicates between two literals are not supported",
+                sql,
+                predicate.pos,
+            )
+    return joins, filters
+
+
+# ----------------------------------------------------------------------
+# CQ construction (union-find over alias.column pairs)
+# ----------------------------------------------------------------------
+def _build_cq(
+    db: Database,
+    tables: list[TableRef],
+    joins: list[tuple[tuple[str, str], tuple[str, str]]],
+) -> ConjunctiveQuery:
+    # All (alias, column) slots, in FROM order then schema order: this is
+    # the first-appearance order that names each variable class.
+    slots: list[tuple[str, str]] = []
+    for table in tables:
+        for column in db[table.relation].schema:
+            slots.append((table.name, column))
+    parent: dict[tuple[str, str], tuple[str, str]] = {s: s for s in slots}
+
+    def find(slot: tuple[str, str]) -> tuple[str, str]:
+        root = slot
+        while parent[root] != root:
+            root = parent[root]
+        while parent[slot] != root:  # path compression
+            parent[slot], slot = root, parent[slot]
+        return root
+
+    rank_order = {slot: i for i, slot in enumerate(slots)}
+    for left, right in joins:
+        root_l, root_r = find(left), find(right)
+        if root_l == root_r:
+            continue
+        # Union by first appearance, so the class representative (and hence
+        # the variable name) is the earliest slot in FROM order.
+        keep, absorb = sorted((root_l, root_r), key=rank_order.__getitem__)
+        parent[absorb] = keep
+
+    def variable_name(slot: tuple[str, str]) -> str:
+        alias, column = find(slot)
+        return f"{alias}.{column}"
+
+    atoms = [
+        Atom(
+            table.relation,
+            tuple(
+                variable_name((table.name, column))
+                for column in db[table.relation].schema
+            ),
+        )
+        for table in tables
+    ]
+    return ConjunctiveQuery(atoms, name="Sql")
+
+
+# ----------------------------------------------------------------------
+# Ranking and output schema
+# ----------------------------------------------------------------------
+def _resolve_ranking(
+    sql: str, statement: SelectStatement
+) -> tuple[RankingFunction, bool]:
+    order = statement.order_by
+    if order is None:
+        return SUM, False
+    ranking = RANKINGS[order.aggregate]
+    if order.descending and ranking is not SUM:
+        raise SqlError(
+            f"DESC is only supported with sum(weight); {order.aggregate} has "
+            "no exact heaviest-first enumeration in this engine",
+            sql,
+            order.pos,
+        )
+    return ranking, order.descending
+
+
+def _resolve_output(
+    db: Database,
+    sql: str,
+    tables: list[TableRef],
+    cq: ConjunctiveQuery,
+    columns: Optional[tuple[ColumnRef, ...]],
+) -> tuple[tuple[str, ...], tuple[int, ...]]:
+    if columns is None:  # SELECT *
+        return tuple(cq.variables), tuple(range(len(cq.variables)))
+    names: list[str] = []
+    positions: list[int] = []
+    # The analyzer names variables by class representative, so resolving a
+    # selected column means finding the atom slot it occupies.
+    slot_variable: dict[tuple[str, str], str] = {}
+    for table, atom in zip(tables, cq.atoms):
+        for column, variable in zip(db[table.relation].schema, atom.variables):
+            slot_variable[(table.name, column)] = variable
+    for ref in columns:
+        alias, column = _resolve_column(db, sql, tables, ref)
+        variable = slot_variable[(alias, column)]
+        names.append(str(ref))
+        positions.append(cq.variables.index(variable))
+    return tuple(names), tuple(positions)

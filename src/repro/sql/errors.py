@@ -1,0 +1,48 @@
+"""Position-annotated SQL diagnostics.
+
+Every error raised by the SQL front-end — lexing, parsing, semantic
+analysis — is a :class:`SqlError` carrying the offending source text and a
+character offset, and renders gcc-style: the message, the source line, and
+a caret pointing at the offending token.  Unsupported-construct errors say
+*what* the supported subset is, so the diagnostic doubles as documentation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SqlError(ValueError):
+    """A lexing, parsing or semantic error in a SQL statement."""
+
+    def __init__(
+        self, message: str, sql: Optional[str] = None, pos: Optional[int] = None
+    ) -> None:
+        self.message = message
+        self.sql = sql
+        self.pos = pos
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        if self.sql is None or self.pos is None:
+            return self.message
+        line_number, column, line = locate(self.sql, self.pos)
+        caret = " " * column + "^"
+        return (
+            f"{self.message} (line {line_number}, column {column + 1})\n"
+            f"    {line}\n"
+            f"    {caret}"
+        )
+
+
+def locate(sql: str, pos: int) -> tuple[int, int, str]:
+    """``(1-based line, 0-based column, line text)`` of offset ``pos``."""
+    pos = max(0, min(pos, len(sql)))
+    consumed = 0
+    lines = sql.splitlines() or [""]
+    for line_number, line in enumerate(lines, start=1):
+        if pos <= consumed + len(line):
+            return line_number, pos - consumed, line
+        consumed += len(line) + 1  # the newline
+    last = lines[-1]
+    return len(lines), len(last), last

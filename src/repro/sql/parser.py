@@ -1,0 +1,354 @@
+"""Recursive-descent parser for the supported SQL subset.
+
+Grammar (keywords case-insensitive)::
+
+    statement   := select [';'] EOF
+    select      := SELECT select_list FROM table_list
+                   [WHERE conjunction]
+                   [ORDER BY order_key [ASC | DESC]]
+                   [LIMIT integer]
+    select_list := '*' | column (',' column)*
+    table_list  := table_ref (join_tail)*
+    join_tail   := ',' table_ref
+                 | [INNER] JOIN table_ref [ON conjunction]
+                 | CROSS JOIN table_ref
+    table_ref   := identifier [[AS] identifier]
+    conjunction := comparison (AND comparison)*
+    comparison  := operand ('=' | '<>' | '!=' | '<' | '<=' | '>' | '>=') operand
+    operand     := column | number | string
+    column      := identifier ['.' identifier]
+    order_key   := 'weight' | identifier '(' 'weight' ')'
+
+Everything outside the subset — OR, NOT, GROUP BY, HAVING, DISTINCT, outer
+joins, set operations, subqueries, arithmetic — is rejected with a
+position-annotated :class:`~repro.sql.errors.SqlError` explaining what the
+subset supports, rather than a generic syntax error.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sql.errors import SqlError
+from repro.sql.lexer import Token, tokenize
+from repro.sql.nodes import (
+    ColumnRef,
+    Comparison,
+    Literal,
+    Operand,
+    OrderBy,
+    SelectStatement,
+    TableRef,
+)
+
+#: ORDER BY aggregates and the ranking functions they select.
+ORDER_AGGREGATES = ("sum", "max", "product", "prod", "lex")
+
+
+def parse(sql: str) -> SelectStatement:
+    """Parse one SELECT statement; raises :class:`SqlError` on anything else."""
+    return _Parser(sql).parse_statement()
+
+
+class _Parser:
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.index = 0
+
+    # -- token plumbing ----------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def error(self, message: str, token: Optional[Token] = None) -> SqlError:
+        token = token or self.current
+        return SqlError(message, self.sql, token.pos)
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.current.is_keyword(word):
+            raise self.error(f"expected {word}, found {self.current.describe()}")
+        return self.advance()
+
+    def expect_op(self, op: str) -> Token:
+        if not self.current.is_op(op):
+            raise self.error(f"expected {op!r}, found {self.current.describe()}")
+        return self.advance()
+
+    def expect_ident(self, what: str) -> Token:
+        if self.current.kind != "ident":
+            if self.current.kind == "keyword":
+                raise self.error(
+                    f"expected {what}, found reserved word {self.current.text}"
+                )
+            raise self.error(f"expected {what}, found {self.current.describe()}")
+        return self.advance()
+
+    # -- grammar -----------------------------------------------------------
+    def parse_statement(self) -> SelectStatement:
+        start = self.expect_keyword("SELECT")
+        self._reject_unsupported_select_modifiers()
+        columns = self.parse_select_list()
+        self.expect_keyword("FROM")
+        tables, on_predicates = self.parse_table_list()
+        predicates = list(on_predicates)
+        if self.current.is_keyword("WHERE"):
+            self.advance()
+            predicates.extend(self.parse_conjunction())
+        order_by = self.parse_order_by()
+        limit = self.parse_limit()
+        self._reject_trailers()
+        if self.current.is_op(";"):
+            self.advance()
+        if self.current.kind != "eof":
+            raise self.error(
+                f"unexpected {self.current.describe()} after the statement"
+            )
+        return SelectStatement(
+            columns=columns,
+            tables=tuple(tables),
+            predicates=tuple(predicates),
+            order_by=order_by,
+            limit=limit,
+            pos=start.pos,
+        )
+
+    def _reject_unsupported_select_modifiers(self) -> None:
+        if self.current.is_keyword("DISTINCT"):
+            raise self.error(
+                "DISTINCT is not supported: ranked enumeration is over full "
+                "join results (projection keeps duplicates)"
+            )
+
+    def parse_select_list(self) -> Optional[tuple[ColumnRef, ...]]:
+        if self.current.is_op("*"):
+            star = self.advance()
+            if self.current.is_op(","):
+                raise self.error(
+                    "'*' cannot be combined with other select items", star
+                )
+            return None
+        columns = [self.parse_column("select column")]
+        while self.current.is_op(","):
+            self.advance()
+            columns.append(self.parse_column("select column"))
+        return tuple(columns)
+
+    def parse_column(self, what: str) -> ColumnRef:
+        first = self.expect_ident(what)
+        if self.current.is_op("("):
+            raise self.error(
+                f"function calls are not supported in a {what}; aggregates "
+                "are only allowed in ORDER BY (sum/max/product/lex of weight)",
+                first,
+            )
+        if self.current.is_op("."):
+            self.advance()
+            second = self.expect_ident("column name")
+            return ColumnRef(first.text, second.text, first.pos)
+        return ColumnRef(None, first.text, first.pos)
+
+    def parse_table_list(self) -> tuple[list[TableRef], list[Comparison]]:
+        tables = [self.parse_table_ref()]
+        predicates: list[Comparison] = []
+        while True:
+            if self.current.is_op(","):
+                self.advance()
+                tables.append(self.parse_table_ref())
+                continue
+            if self.current.is_keyword("LEFT", "RIGHT", "FULL", "OUTER"):
+                raise self.error(
+                    "outer joins are not supported; the subset covers inner "
+                    "equality joins (JOIN ... ON or comma-list + WHERE)"
+                )
+            if self.current.is_keyword("NATURAL"):
+                raise self.error(
+                    "NATURAL JOIN is not supported; spell the join condition "
+                    "with ON or WHERE"
+                )
+            if self.current.is_keyword("CROSS"):
+                self.advance()
+                self.expect_keyword("JOIN")
+                tables.append(self.parse_table_ref())
+                continue
+            if self.current.is_keyword("INNER"):
+                self.advance()
+                if not self.current.is_keyword("JOIN"):
+                    raise self.error("expected JOIN after INNER")
+            if self.current.is_keyword("JOIN"):
+                self.advance()
+                tables.append(self.parse_table_ref())
+                if self.current.is_keyword("USING"):
+                    raise self.error(
+                        "JOIN ... USING is not supported; spell the condition "
+                        "with ON (t1.col = t2.col)"
+                    )
+                if self.current.is_keyword("ON"):
+                    self.advance()
+                    predicates.extend(self.parse_conjunction())
+                continue
+            return tables, predicates
+
+    def parse_table_ref(self) -> TableRef:
+        if self.current.is_op("("):
+            raise self.error(
+                "subqueries are not supported; FROM takes plain relation names"
+            )
+        name = self.expect_ident("relation name")
+        alias: Optional[str] = None
+        if self.current.is_keyword("AS"):
+            self.advance()
+            alias = self.expect_ident("alias").text
+        elif self.current.kind == "ident":
+            alias = self.advance().text
+        return TableRef(name.text, alias, name.pos)
+
+    def parse_conjunction(self) -> list[Comparison]:
+        predicates = [self.parse_comparison()]
+        while True:
+            if self.current.is_keyword("AND"):
+                self.advance()
+                predicates.append(self.parse_comparison())
+                continue
+            if self.current.is_keyword("OR"):
+                raise self.error(
+                    "OR is not supported; predicates must be a conjunction "
+                    "of equality joins and constant filters"
+                )
+            if self.current.is_keyword("NOT"):
+                raise self.error("NOT is not supported")
+            return predicates
+
+    def parse_comparison(self) -> Comparison:
+        left = self.parse_operand()
+        if not self.current.is_op("=", "<>", "!=", "<", "<=", ">", ">="):
+            raise self.error(
+                f"expected a comparison operator, found {self.current.describe()}"
+            )
+        op_token = self.advance()
+        op = "<>" if op_token.text == "!=" else op_token.text
+        right = self.parse_operand()
+        return Comparison(left, op, right, op_token.pos)
+
+    def parse_operand(self) -> Operand:
+        token = self.current
+        if token.is_keyword("NOT"):
+            raise self.error("NOT is not supported")
+        sign = 1
+        if token.is_op("-", "+"):
+            # A literal sign; `--` would lex as a comment, so write `- 1`
+            # or `-1` (single minus binds to the number).
+            self.advance()
+            sign = -1 if token.text == "-" else 1
+            if self.current.kind != "number":
+                raise self.error(
+                    f"expected a number after {token.text!r} (arithmetic "
+                    "expressions are not supported)",
+                    token,
+                )
+            token = self.current
+        if token.kind == "number":
+            self.advance()
+            text = token.text
+            value = float(text) if any(c in text for c in ".eE") else int(text)
+            return Literal(sign * value, token.pos)
+        if token.kind == "string":
+            self.advance()
+            return Literal(token.text, token.pos)
+        if token.kind == "ident":
+            return self.parse_column("column reference")
+        if token.is_op("("):
+            raise self.error(
+                "parenthesized expressions and subqueries are not supported "
+                "in predicates"
+            )
+        raise self.error(f"expected a column or literal, found {token.describe()}")
+
+    def parse_order_by(self) -> Optional[OrderBy]:
+        if self.current.is_keyword("GROUP"):
+            raise self.error(
+                "GROUP BY is not supported; see repro.factorized for "
+                "aggregates over join results"
+            )
+        if self.current.is_keyword("HAVING"):
+            raise self.error("HAVING is not supported")
+        if not self.current.is_keyword("ORDER"):
+            return None
+        start = self.advance()
+        self.expect_keyword("BY")
+        aggregate = self._parse_order_key()
+        descending = False
+        if self.current.is_keyword("ASC"):
+            self.advance()
+        elif self.current.is_keyword("DESC"):
+            self.advance()
+            descending = True
+        if self.current.is_op(","):
+            raise self.error(
+                "multiple ORDER BY keys are not supported; ranking is by one "
+                "aggregate of the tuple weights"
+            )
+        return OrderBy(aggregate=aggregate, descending=descending, pos=start.pos)
+
+    def _parse_order_key(self) -> str:
+        token = self.expect_ident("ORDER BY key")
+        word = token.text.lower()
+        if self.current.is_op("("):
+            if word not in ORDER_AGGREGATES:
+                raise self.error(
+                    f"unknown ranking aggregate {token.text!r}; supported: "
+                    "sum, max, product, lex",
+                    token,
+                )
+            self.advance()
+            argument = self.expect_ident("aggregate argument")
+            if argument.text.lower() != "weight":
+                raise self.error(
+                    "ranking aggregates take the implicit tuple 'weight' "
+                    "column; arbitrary expressions are not supported",
+                    argument,
+                )
+            self.expect_op(")")
+            return "product" if word == "prod" else word
+        if word != "weight":
+            raise self.error(
+                "ORDER BY ranks by the implicit tuple 'weight' column: use "
+                "ORDER BY weight, or sum/max/product/lex(weight)",
+                token,
+            )
+        return "sum"
+
+    def parse_limit(self) -> Optional[int]:
+        if not self.current.is_keyword("LIMIT"):
+            return None
+        self.advance()
+        token = self.current
+        if token.kind != "number" or not token.text.isdigit():
+            raise self.error("LIMIT takes a positive integer")
+        self.advance()
+        k = int(token.text)
+        if k < 1:
+            raise SqlError("LIMIT must be >= 1", self.sql, token.pos)
+        if self.current.is_keyword("OFFSET"):
+            raise self.error(
+                "OFFSET is not supported; pull from the ranked stream and "
+                "skip client-side instead"
+            )
+        return k
+
+    def _reject_trailers(self) -> None:
+        for word, hint in (
+            ("UNION", "set operations are not supported"),
+            ("EXCEPT", "set operations are not supported"),
+            ("INTERSECT", "set operations are not supported"),
+            ("GROUP", "GROUP BY is not supported"),
+            ("HAVING", "HAVING is not supported"),
+        ):
+            if self.current.is_keyword(word):
+                raise self.error(hint)

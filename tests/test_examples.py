@@ -60,6 +60,14 @@ def test_factorized_aggregates_runs():
 
 
 @pytest.mark.slow
+def test_sql_topk_runs():
+    out = _run("sql_topk.py")
+    assert "engine:   part:lazy" in out
+    assert "SQL result == direct rank_enumerate: True" in out
+    assert "engine:   batch" in out
+
+
+@pytest.mark.slow
 def test_kshortest_paths_runs():
     out = _run("kshortest_paths.py")
     assert "Hoffman-Pavley" in out

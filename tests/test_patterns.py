@@ -92,12 +92,14 @@ def test_compiled_query_is_acyclic():
     assert is_acyclic(query)
 
 
-def test_unknown_label_fails_early():
+def test_unknown_label_matches_nothing():
+    # An absent label means zero matches, not an error: the compiled query
+    # references the label's empty relation and enumeration yields nothing.
     g = _chain_graph()
     p = TreePattern("r", "Z")
     p.add_child("r", "c")
-    with pytest.raises(QueryError, match="does not occur"):
-        p.compile_to_query(g)
+    assert list(find_patterns(g, p)) == []
+    assert count_matches(g, p) == 0
 
 
 def test_simple_chain_pattern_ranking():

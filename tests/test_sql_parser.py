@@ -1,0 +1,165 @@
+"""SQL front-end: lexer/parser round-trips and error diagnostics."""
+
+import pytest
+
+from repro.sql.errors import SqlError, locate
+from repro.sql.lexer import tokenize
+from repro.sql.nodes import ColumnRef, Literal, OrderBy
+from repro.sql.parser import parse
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+def test_tokenize_kinds_and_positions():
+    tokens = tokenize("SELECT a.b, 'it''s' FROM R1 -- comment\nLIMIT 2")
+    kinds = [(t.kind, t.text) for t in tokens]
+    assert kinds == [
+        ("keyword", "SELECT"),
+        ("ident", "a"),
+        ("op", "."),
+        ("ident", "b"),
+        ("op", ","),
+        ("string", "it's"),
+        ("keyword", "FROM"),
+        ("ident", "R1"),
+        ("keyword", "LIMIT"),
+        ("number", "2"),
+        ("eof", ""),
+    ]
+    assert tokens[0].pos == 0
+    assert tokens[1].pos == 7
+
+
+def test_tokenize_rejects_bad_input():
+    with pytest.raises(SqlError, match="unterminated string"):
+        tokenize("SELECT 'oops")
+    with pytest.raises(SqlError, match="illegal character"):
+        tokenize("SELECT @")
+    with pytest.raises(SqlError, match="malformed number"):
+        tokenize("SELECT 1.2.3")
+
+
+def test_locate_lines_and_columns():
+    sql = "SELECT *\nFROM R\nWHERE x = 1"
+    line, column, text = locate(sql, sql.index("WHERE"))
+    assert (line, column, text) == (3, 0, "WHERE x = 1")
+
+
+# ----------------------------------------------------------------------
+# Parser: structure and round-trips
+# ----------------------------------------------------------------------
+ROUND_TRIP_STATEMENTS = [
+    "SELECT * FROM R",
+    "SELECT * FROM R AS a, S AS b WHERE a.x = b.x",
+    "SELECT a.x, b.y FROM R AS a JOIN S AS b ON a.x = b.x "
+    "ORDER BY weight ASC LIMIT 3",
+    "SELECT * FROM E AS e1 JOIN E AS e2 ON e1.dst = e2.src "
+    "ORDER BY max(weight) DESC LIMIT 10",
+    "SELECT * FROM R WHERE R.x = 5 AND R.y <> 'z' ORDER BY product(weight)",
+    "SELECT * FROM R CROSS JOIN S LIMIT 1",
+    "SELECT * FROM R WHERE R.x >= 1.5 AND R.x < 9",
+]
+
+
+@pytest.mark.parametrize("sql", ROUND_TRIP_STATEMENTS)
+def test_parse_render_parse_round_trip(sql):
+    """Rendering a parsed statement and re-parsing is a fixed point."""
+    first = parse(sql)
+    rendered = str(first)
+    second = parse(rendered)
+    assert second == first  # positions are compare=False
+    assert str(second) == rendered
+
+
+def test_parse_shapes():
+    stmt = parse(
+        "SELECT a.x FROM R AS a JOIN S AS b ON a.x = b.x "
+        "WHERE a.y > 3 ORDER BY sum(weight) DESC LIMIT 7;"
+    )
+    assert stmt.columns == (ColumnRef("a", "x"),)
+    assert [t.relation for t in stmt.tables] == ["R", "S"]
+    assert [t.name for t in stmt.tables] == ["a", "b"]
+    # ON and WHERE conjuncts pool into one predicate list.
+    assert len(stmt.predicates) == 2
+    assert stmt.predicates[1].right == Literal(3)
+    assert stmt.order_by == OrderBy("sum", descending=True)
+    assert stmt.limit == 7
+
+
+def test_signed_literals():
+    stmt = parse("SELECT * FROM R WHERE R.x > -1.5 AND R.y <= + 2")
+    assert stmt.predicates[0].right == Literal(-1.5)
+    assert stmt.predicates[1].right == Literal(2)
+    with pytest.raises(SqlError, match="expected a number after"):
+        parse("SELECT * FROM R WHERE R.x > -y")
+    # `--` is a comment, so a doubled minus swallows the rest of the line.
+    with pytest.raises(SqlError, match="expected a column or literal"):
+        parse("SELECT * FROM R WHERE R.x > --1")
+
+
+def test_parse_normalizations():
+    stmt = parse("select * from r where r.x != 2 order by prod(WEIGHT)")
+    assert stmt.predicates[0].op == "<>"
+    assert stmt.order_by.aggregate == "product"
+    assert parse("SELECT * FROM R ORDER BY weight").order_by == OrderBy("sum")
+    # Bare alias (no AS) and implicit alias both resolve.
+    assert parse("SELECT * FROM R r").tables[0].name == "r"
+
+
+# ----------------------------------------------------------------------
+# Diagnostics: position-annotated, self-documenting errors
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "sql,needle",
+    [
+        ("SELECT DISTINCT * FROM R", "DISTINCT is not supported"),
+        ("SELECT * FROM R LEFT JOIN S ON R.x = S.x", "outer joins"),
+        ("SELECT * FROM R NATURAL JOIN S", "NATURAL JOIN is not supported"),
+        ("SELECT * FROM R JOIN S USING (x)", "USING is not supported"),
+        ("SELECT * FROM (SELECT * FROM R)", "subqueries are not supported"),
+        ("SELECT * FROM R WHERE R.x = 1 OR R.y = 2", "OR is not supported"),
+        ("SELECT * FROM R WHERE NOT R.x = 1", "NOT is not supported"),
+        ("SELECT * FROM R GROUP BY x", "GROUP BY is not supported"),
+        ("SELECT * FROM R HAVING x = 1", "HAVING is not supported"),
+        ("SELECT * FROM R UNION SELECT * FROM S", "set operations"),
+        ("SELECT * FROM R LIMIT 3 OFFSET 2", "OFFSET is not supported"),
+        ("SELECT * FROM R ORDER BY weight, x", "multiple ORDER BY keys"),
+        ("SELECT * FROM R ORDER BY x", "implicit tuple 'weight'"),
+        ("SELECT * FROM R ORDER BY median(weight)", "unknown ranking aggregate"),
+        ("SELECT * FROM R ORDER BY sum(x)", "arbitrary expressions"),
+        ("SELECT count(x) FROM R", "function calls are not supported"),
+        ("SELECT *, x FROM R", "cannot be combined"),
+        ("SELECT * FROM R LIMIT 0", "LIMIT must be >= 1"),
+        ("SELECT * FROM R LIMIT k", "positive integer"),
+        ("SELECT * FROM R WHERE x < 'a' AND", "expected a column or literal"),
+        ("SELECT * FROM", "expected relation name"),
+        ("SELECT * FROM R extra garbage", "unexpected"),
+    ],
+)
+def test_unsupported_constructs_have_targeted_diagnostics(sql, needle):
+    with pytest.raises(SqlError) as excinfo:
+        parse(sql)
+    assert needle in str(excinfo.value)
+
+
+def test_errors_carry_position_and_caret():
+    sql = "SELECT * FROM R WHERE R.x = 1 OR R.y = 2"
+    with pytest.raises(SqlError) as excinfo:
+        parse(sql)
+    error = excinfo.value
+    assert error.pos == sql.index("OR ")
+    rendered = str(error)
+    assert "line 1" in rendered
+    assert f"column {sql.index('OR ') + 1}" in rendered
+    # The caret line points at the offending token.
+    lines = rendered.splitlines()
+    assert lines[-1].strip() == "^"
+    assert lines[-2][lines[-1].index("^")] == "O"
+
+
+def test_multiline_error_location():
+    sql = "SELECT *\nFROM R\nORDER BY x"
+    with pytest.raises(SqlError) as excinfo:
+        parse(sql)
+    assert "line 3" in str(excinfo.value)
