@@ -1,0 +1,202 @@
+"""E19 — the query server: wire overhead, concurrency, and the plan cache.
+
+Three series:
+
+1. **warm vs cold planning** — the plan cache's reason to exist: repeat
+   submissions of a statement must plan measurably cheaper than first
+   submissions (asserted, the PR's acceptance criterion);
+2. **fetch latency** — p50/p95 per-page latency of paged fetches over the
+   wire vs the same pages pulled from the library directly (the price of
+   JSON + TCP per round trip);
+3. **concurrent-client throughput** — total queries/s with 1, 2, and 4
+   client threads against one server (thread-pool handler + global
+   caches), vs the single-thread direct-call baseline.
+
+Run:  pytest benchmarks/bench_e19_server.py -o python_functions='bench_*' -q -s
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+import time
+
+import repro.sql
+from repro.data.generators import random_graph_database
+from repro.server import Client, QueryService, serve_background
+
+from common import print_table
+
+SQL = (
+    "SELECT * FROM E AS e1 JOIN E AS e2 ON e1.dst = e2.src "
+    "ORDER BY weight LIMIT {k}"
+)
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _plan_cache_series(db) -> tuple[list, float, float]:
+    """Cold-vs-warm planning latency through the service (no sockets)."""
+    statements = [SQL.format(k=k) for k in (5, 10, 20, 40, 80, 160, 320, 640)]
+    service = QueryService(db)
+    cold, warm = [], []
+    for sql in statements:
+        start = time.perf_counter()
+        service.plan(sql)
+        cold.append(time.perf_counter() - start)
+    for _ in range(5):
+        for sql in statements:
+            start = time.perf_counter()
+            entry, was_cached = service.plan(sql)
+            warm.append(time.perf_counter() - start)
+            assert was_cached
+    cold_ms = 1e3 * statistics.mean(cold)
+    warm_ms = 1e3 * statistics.mean(warm)
+    rows = [
+        ("cold (parse+analyze+route)", len(cold), cold_ms),
+        ("warm (normalize+probe)", len(warm), warm_ms),
+        ("speedup", "", cold_ms / warm_ms if warm_ms else float("inf")),
+    ]
+    return rows, cold_ms, warm_ms
+
+
+def _fetch_latency_series(db, port) -> list:
+    """p50/p95 per-page latency: wire fetches vs direct library pulls."""
+    k, page = 400, 20
+    sql = SQL.format(k=k)
+    wire_samples: list[float] = []
+    with Client(port=port) as client:
+        for _ in range(3):
+            cursor = client.execute(sql, batch=page, prefetch=0)
+            while True:
+                start = time.perf_counter()
+                rows = cursor.fetch(page)
+                wire_samples.append(time.perf_counter() - start)
+                if not rows or cursor.cursor_id is None:
+                    break
+    direct_samples: list[float] = []
+    for _ in range(3):
+        stream = iter(repro.sql.query(db, sql))
+        while True:
+            start = time.perf_counter()
+            batch = []
+            try:
+                for _ in range(page):
+                    batch.append(next(stream))
+            except StopIteration:
+                break
+            finally:
+                direct_samples.append(time.perf_counter() - start)
+            if len(batch) < page:
+                break
+    return [
+        (
+            "direct",
+            len(direct_samples),
+            1e3 * _percentile(direct_samples, 0.50),
+            1e3 * _percentile(direct_samples, 0.95),
+        ),
+        (
+            "wire",
+            len(wire_samples),
+            1e3 * _percentile(wire_samples, 0.50),
+            1e3 * _percentile(wire_samples, 0.95),
+        ),
+    ]
+
+
+def _throughput_series(db, port) -> list:
+    """Queries/s, n client threads each running whole top-k queries."""
+    k, queries_each = 50, 30
+    sql = SQL.format(k=k)
+
+    start = time.perf_counter()
+    for _ in range(queries_each):
+        list(repro.sql.query(db, sql))
+    direct_qps = queries_each / (time.perf_counter() - start)
+    rows = [("direct (library)", 1, queries_each, direct_qps)]
+
+    for threads_n in (1, 2, 4):
+        barrier = threading.Barrier(threads_n + 1)
+        done: list[float] = []
+
+        def worker() -> None:
+            with Client(port=port) as client:
+                barrier.wait()
+                for _ in range(queries_each):
+                    client.execute(sql, batch=k).fetchall()
+                done.append(time.perf_counter())
+
+        workers = [
+            threading.Thread(target=worker) for _ in range(threads_n)
+        ]
+        for w in workers:
+            w.start()
+        barrier.wait()
+        begin = time.perf_counter()
+        for w in workers:
+            w.join(timeout=600)
+        elapsed = max(done) - begin
+        rows.append(
+            (
+                f"wire ({threads_n} clients)",
+                threads_n,
+                threads_n * queries_each,
+                threads_n * queries_each / elapsed,
+            )
+        )
+    return rows
+
+
+def bench_e19_server(benchmark):
+    db = random_graph_database(num_edges=2000, num_nodes=250, seed=19)
+    server, port = serve_background(db, max_cursors=32)
+    try:
+        plan_rows, cold_ms, warm_ms = _plan_cache_series(db)
+        print_table(
+            "E19a: plan cache, cold vs warm (mean ms per plan)",
+            ["path", "samples", "ms"],
+            plan_rows,
+        )
+        # The acceptance criterion: a warm plan cache makes repeat-query
+        # planning measurably cheaper than cold.
+        assert warm_ms < cold_ms / 2, (
+            f"warm planning ({warm_ms:.3f} ms) not measurably cheaper "
+            f"than cold ({cold_ms:.3f} ms)"
+        )
+        print(
+            f"plan-cache claim holds: warm {warm_ms:.3f} ms < "
+            f"{cold_ms:.3f} ms cold (x{cold_ms / warm_ms:.1f})"
+        )
+
+        print_table(
+            "E19b: per-page fetch latency, 20-row pages (ms)",
+            ["path", "pages", "p50", "p95"],
+            _fetch_latency_series(db, port),
+        )
+        print_table(
+            "E19c: top-50 query throughput (queries/s)",
+            ["path", "clients", "queries", "qps"],
+            _throughput_series(db, port),
+        )
+        with Client(port=port) as client:
+            stats = client.stats()
+        print(
+            f"server totals: {stats['queries']} queries, "
+            f"{stats['rows_served']} rows, plan cache "
+            f"{stats['plan_cache']['hits']}/{stats['plan_cache']['hits'] + stats['plan_cache']['misses']} hit"
+        )
+
+        with Client(port=port) as client:
+            benchmark.pedantic(
+                lambda: client.execute(SQL.format(k=50), batch=50).fetchall(),
+                rounds=3,
+                iterations=1,
+            )
+    finally:
+        server.shutdown()
+        server.server_close()

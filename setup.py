@@ -5,12 +5,12 @@ with open("README.md", encoding="utf-8") as handle:
 
 setup(
     name="repro-anyk",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Optimal joins meet top-k: ranked (any-k) enumeration for "
-        "conjunctive queries, with a SQL front-end and cost-based engine "
-        "router (reproduction of Tziavelis, Gatterbauer, Riedewald, "
-        "SIGMOD 2020)"
+        "conjunctive queries, with a SQL front-end, cost-based engine "
+        "router, and a concurrent query server with resumable cursors "
+        "(reproduction of Tziavelis, Gatterbauer, Riedewald, SIGMOD 2020)"
     ),
     long_description=LONG_DESCRIPTION,
     long_description_content_type="text/markdown",
@@ -29,6 +29,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-sql = repro.sql.cli:main",
+            "repro-serve = repro.server.cli:main",
         ],
     },
     classifiers=[

@@ -26,11 +26,18 @@ Modules:
   façade dispatching on query shape and method name.
 """
 
-from repro.anyk.api import METHODS, rank_enumerate
+from repro.anyk.api import (
+    METHODS,
+    PausableStream,
+    StreamClosed,
+    rank_enumerate,
+)
 from repro.anyk.ranking import LEX, MAX, PRODUCT, SUM, RankingFunction
 
 __all__ = [
     "rank_enumerate",
+    "PausableStream",
+    "StreamClosed",
     "METHODS",
     "RankingFunction",
     "SUM",

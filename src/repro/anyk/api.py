@@ -35,6 +35,8 @@ Example
 from __future__ import annotations
 
 import itertools
+import threading
+import time
 from typing import Any, Iterator, Optional
 
 from repro.anyk.batch import batch_enumerate
@@ -119,6 +121,104 @@ def rank_enumerate(
             db, query, ranking, _enumerator_factory(method), counters=counters
         )
     return stream if k is None else itertools.islice(stream, k)
+
+
+class StreamClosed(RuntimeError):
+    """A :class:`PausableStream` was closed with results still pending.
+
+    Distinct from exhaustion on purpose: answering a pull on a closed
+    stream with "done" would silently truncate the ranked result set.
+    Callers racing a concurrent close (the server's cursor eviction) get
+    this error instead and can report the session as gone.
+    """
+
+
+class PausableStream:
+    """A ranked stream that can be drained in increments and resumed.
+
+    The any-k contract says callers may stop after any prefix; this
+    wrapper makes the complementary *pause* explicit: :meth:`take` pulls
+    the next ``n`` results and leaves the underlying enumeration iterator
+    suspended exactly where it stopped, so a later :meth:`take` continues
+    the ranked order with no recomputation.  That is what turns anytime
+    enumeration into server-side pagination (:mod:`repro.server` keeps
+    one of these per open cursor).
+
+    Thread-safe: a lock serializes pulls, so two concurrent fetches on the
+    same cursor cannot interleave inside the generator frame (generators
+    raise ``ValueError: already executing`` otherwise — corrupted pulls at
+    worst).  Results are handed out in pull order.
+    """
+
+    def __init__(self, stream: Iterator[tuple[tuple, Any]]) -> None:
+        self._iterator = iter(stream)
+        self._lock = threading.Lock()
+        self._exhausted = False
+        self._closed = False
+        self._emitted = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the underlying enumeration has run dry."""
+        return self._exhausted
+
+    @property
+    def closed(self) -> bool:
+        """True after :meth:`close` (whether or not results remained)."""
+        return self._closed
+
+    @property
+    def emitted(self) -> int:
+        """How many results have been handed out so far."""
+        return self._emitted
+
+    def take(
+        self, n: int, deadline: Optional[float] = None
+    ) -> tuple[list[tuple[tuple, Any]], bool]:
+        """Pull up to ``n`` more results; returns ``(results, done)``.
+
+        ``deadline`` (a :func:`time.monotonic` timestamp) bounds the pull:
+        enumeration stops early once the clock passes it, returning the
+        results produced so far with ``done=False`` — the anytime
+        property as a latency SLO.  ``n <= 0`` returns nothing (but still
+        reports exhaustion state).  Pulling from a stream that was
+        :meth:`close`-d before running dry raises :class:`StreamClosed`
+        (done-on-close would silently truncate the ranked stream).
+        """
+        out: list[tuple[tuple, Any]] = []
+        with self._lock:
+            if self._exhausted:
+                return out, True
+            if self._closed:
+                raise StreamClosed(
+                    "the stream was closed with results still pending"
+                )
+            while len(out) < n:
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+                try:
+                    out.append(next(self._iterator))
+                except StopIteration:
+                    self._exhausted = True
+                    break
+            self._emitted += len(out)
+            return out, self._exhausted
+
+    def __iter__(self) -> Iterator[tuple[tuple, Any]]:
+        while True:
+            results, done = self.take(1)
+            if results:
+                yield results[0]
+            if done:
+                return
+
+    def close(self) -> None:
+        """Dispose of the underlying iterator (frees generator frames)."""
+        with self._lock:
+            self._closed = True
+            close = getattr(self._iterator, "close", None)
+            if close is not None:
+                close()
 
 
 def top_k(

@@ -9,7 +9,12 @@ front-end (:mod:`repro.sql`) routes every statement through here;
 ``method="auto"``.
 """
 
-from repro.engine.catalog import AtomStats, CatalogStats
+from repro.engine.catalog import (
+    AtomStats,
+    CatalogStats,
+    StatsCache,
+    database_fingerprint,
+)
 from repro.engine.executor import execute, filtered_database
 from repro.engine.planner import (
     Plan,
@@ -22,6 +27,8 @@ from repro.engine.planner import (
 __all__ = [
     "AtomStats",
     "CatalogStats",
+    "StatsCache",
+    "database_fingerprint",
     "Plan",
     "PlanEstimates",
     "route",

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.data.database import Database
 from repro.query.cq import ConjunctiveQuery
+from repro.util.lru import LruCache
 
 
 @dataclass(frozen=True)
@@ -83,3 +84,69 @@ class CatalogStats:
 
     def any_empty(self) -> bool:
         return any(a.size == 0 for a in self.atoms)
+
+
+def database_fingerprint(db: Database) -> tuple:
+    """A cheap, hashable token identifying the catalog's *shape*.
+
+    Covers relation names, schemas, and cardinalities — everything the
+    router's statistics read.  The library treats relation contents as
+    immutable after registration (:meth:`Relation.copy` shares row
+    storage on that basis), so two equal fingerprints mean cached plans
+    and statistics still describe the data.  O(#relations), not O(tuples):
+    fingerprinting must stay far cheaper than the planning it short-cuts.
+    """
+    return tuple(
+        sorted((r.name, r.schema, len(r)) for r in db)
+    )
+
+
+class StatsCache:
+    """Memoized :meth:`CatalogStats.gather` keyed on catalog fingerprint.
+
+    Statistics gathering is a per-query scan of the catalog; a serving
+    workload replays the same query shapes against the same catalog.
+    Default (cardinality-only) stats are pure functions of the
+    fingerprint — it covers exactly what they read: names, schemas,
+    sizes.  *Fan-out* stats additionally read relation contents, which
+    the fingerprint deliberately does not hash (it must stay O(#relations)),
+    so ``with_fanouts=True`` bypasses the cache rather than risk serving
+    one filtered instance's distinct counts for another's.  Bounded LRU
+    (the same :class:`~repro.util.lru.LruCache` as the fractional-cover
+    LP memo and the plan cache), thread-safe for the concurrent server
+    regime.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        self._lru = LruCache(maxsize)
+
+    def gather(
+        self,
+        db: Database,
+        query: ConjunctiveQuery,
+        with_fanouts: bool = False,
+    ) -> CatalogStats:
+        """Cached equivalent of :meth:`CatalogStats.gather`."""
+        if with_fanouts:  # content-dependent: not soundly cacheable here
+            return CatalogStats.gather(db, query, with_fanouts=True)
+        key = (
+            database_fingerprint(db),
+            tuple(atom.relation for atom in query.atoms),
+            tuple(atom.variables for atom in query.atoms),
+        )
+        cached = self._lru.get(key)
+        if cached is not None:
+            return cached
+        stats = CatalogStats.gather(db, query)
+        self._lru.put(key, stats)
+        return stats
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def info(self) -> dict:
+        """Hit/miss counters for the server's ``stats`` endpoint."""
+        return self._lru.info()

@@ -18,7 +18,7 @@ or the HRJN rank-join middleware).  Its own responsibilities:
 from __future__ import annotations
 
 import itertools
-from typing import Any, Iterator, Optional, TYPE_CHECKING
+from typing import Any, Iterable, Iterator, Optional, TYPE_CHECKING
 
 from repro.anyk.api import rank_enumerate
 from repro.data.database import Database
@@ -31,14 +31,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.sql.analyzer import CompiledQuery
 
 
-def negated_database(db: Database) -> Database:
-    """Every relation replaced by a weight-negated copy (same names).
+def negated_database(
+    db: Database, only: Optional[Iterable[str]] = None
+) -> Database:
+    """Relations replaced by weight-negated copies (same names).
 
     Ascending enumeration over the negated instance is exactly
     heaviest-first enumeration of the original — the DESC implementation.
+
+    ``only`` restricts negation to the named relations (the ones a query
+    actually references): everything else is carried over *shared and
+    untouched* instead of copied, so a DESC query against a multi-tenant
+    catalog pays O(referenced tuples), not O(database).  Omitted, every
+    relation is negated (the standalone-helper behavior).
     """
+    names = None if only is None else set(only)
     negated = Database()
     for relation in db:
+        if names is not None and relation.name not in names:
+            negated.add(relation)
+            continue
         copy = relation.copy()
         copy.weights = [-w for w in copy.weights]
         negated.add(copy)
@@ -79,7 +91,7 @@ def filtered_database(
                 working.add(db[atom.relation])
             atoms.append(atom)
     if compiled.descending and negate:
-        working = negated_database(working)
+        working = negated_database(working, only={a.relation for a in atoms})
     rewritten = (
         cq
         if all(a.relation == b.relation for a, b in zip(atoms, cq.atoms))
@@ -106,7 +118,9 @@ def execute(
         # negation to us, since only enumeration needs it.
         working, cq = plan.working_db, plan.working_cq
         if compiled.descending:
-            working = negated_database(working)
+            working = negated_database(
+                working, only={a.relation for a in cq.atoms}
+            )
     else:
         working, cq = filtered_database(db, compiled)
     k = compiled.k

@@ -36,7 +36,7 @@ from typing import Optional, TYPE_CHECKING
 from repro.anyk.cyclic import is_fourcycle
 from repro.anyk.ranking import RankingFunction, SUM
 from repro.data.database import Database
-from repro.engine.catalog import CatalogStats
+from repro.engine.catalog import CatalogStats, StatsCache
 from repro.query.agm import fractional_edge_cover
 from repro.query.cq import ConjunctiveQuery
 from repro.query.decomposition import min_fill_decomposition
@@ -134,16 +134,20 @@ def route(
     free_variables: Optional[tuple[str, ...]] = None,
     allow_middleware: bool = True,
     engine: Optional[str] = None,
+    stats: Optional[CatalogStats] = None,
 ) -> Plan:
     """Choose an engine for ``query`` over ``db``.
 
     ``free_variables`` (when a projection is requested) only affects the
     free-connex annotation; execution always enumerates full rows.
     ``engine`` forces the choice (recorded as an override in the
-    rationale).
+    rationale).  ``stats`` lets a caller with a
+    :class:`~repro.engine.catalog.StatsCache` supply pre-gathered
+    statistics instead of re-scanning the catalog.
     """
     query.validate(db)
-    stats = CatalogStats.gather(db, query)
+    if stats is None:
+        stats = CatalogStats.gather(db, query)
     tree = gyo_reduction(query)
     acyclic = tree is not None
     fourcycle = False if acyclic else is_fourcycle(query)
@@ -279,15 +283,27 @@ def choose_method(
 
 
 def plan_compiled(
-    db: Database, compiled: "CompiledQuery", engine: Optional[str] = None
+    db: Database,
+    compiled: "CompiledQuery",
+    engine: Optional[str] = None,
+    stats_cache: Optional[StatsCache] = None,
 ) -> Plan:
-    """Route a SQL :class:`~repro.sql.analyzer.CompiledQuery`."""
+    """Route a SQL :class:`~repro.sql.analyzer.CompiledQuery`.
+
+    ``stats_cache`` (the server's cached-stats catalog) short-cuts the
+    statistics scan over the filtered working instance.
+    """
     from repro.engine.executor import filtered_database
 
     # Plan on the filtered instance (filters change the stats the router
     # reads) but skip the size-preserving DESC negation — it only matters
     # at enumeration time, and EXPLAIN never enumerates.
     working_db, working_cq = filtered_database(db, compiled, negate=False)
+    stats = (
+        stats_cache.gather(working_db, working_cq)
+        if stats_cache is not None
+        else None
+    )
     plan = route(
         working_db,
         working_cq,
@@ -297,6 +313,7 @@ def plan_compiled(
             compiled.free_variables if compiled.is_projection else None
         ),
         engine=engine,
+        stats=stats,
     )
     plan.working_db = working_db
     plan.working_cq = working_cq

@@ -28,6 +28,7 @@ from scipy.optimize import linprog
 
 from repro.data.database import Database
 from repro.query.cq import ConjunctiveQuery, QueryError
+from repro.util.lru import LruCache
 
 
 @dataclass(frozen=True)
@@ -58,9 +59,9 @@ class FractionalCover:
 #: and hashable — and the same structures recur constantly (every
 #: decomposition candidate of an exhaustive `best_decomposition` search,
 #: every EXPLAIN of the same query shape), so caching turns the planner's
-#: and the width machinery's hot path into dictionary lookups.
-_COVER_CACHE: dict[tuple, FractionalCover] = {}
-_COVER_CACHE_LIMIT = 65536
+#: and the width machinery's hot path into cache probes (the shared
+#: bounded LRU also backing the server's plan and stats caches).
+_COVER_CACHE = LruCache(65536)
 
 
 def fractional_edge_cover(
@@ -122,9 +123,7 @@ def fractional_edge_cover(
         weights=tuple(float(x) for x in result.x),
         log_bound=float(result.fun),
     )
-    if len(_COVER_CACHE) >= _COVER_CACHE_LIMIT:  # pragma: no cover - bound
-        _COVER_CACHE.clear()
-    _COVER_CACHE[key] = cover
+    _COVER_CACHE.put(key, cover)
     return cover
 
 

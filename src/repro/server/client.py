@@ -1,0 +1,238 @@
+"""The Python wire client: ``Client`` and its iterator-of-rows cursor.
+
+One socket, synchronous request/response, a lock so the client object can
+be shared across threads (each call owns the socket for one round trip).
+Rows come back exactly as the library yields them — ``(row, weight)``
+with ``row`` a tuple and lex weights re-tupled — so swapping a direct
+:func:`repro.sql.query` call for a served one is a one-line change::
+
+    with Client(port=port) as client:
+        for row, weight in client.execute(sql, batch=50):
+            ...
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Any, Iterator, Optional
+
+import repro.server.protocol as protocol
+
+
+class ServerError(Exception):
+    """An error response from the server (code + human message)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class DeadlineExceeded(ServerError):
+    """A per-request deadline expired before a full page was produced.
+
+    Raised client-side by :meth:`ResultCursor.__iter__` when a fetch
+    comes back *empty* under a deadline (a partial page is just yielded;
+    manual :meth:`ResultCursor.fetch` callers read the
+    :attr:`ResultCursor.deadline_exceeded` flag instead).
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__("deadline", message)
+
+
+class Client:
+    """Context-manager client for one ``repro-serve`` endpoint."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = protocol.DEFAULT_PORT,
+        timeout: Optional[float] = None,
+        deadline_ms: Optional[int] = None,
+    ) -> None:
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._socket.makefile("rwb")
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        #: Default per-request deadline attached to every call (None: no
+        #: deadline).  Individual calls may override.
+        self.deadline_ms = deadline_ms
+
+    # ------------------------------------------------------------------
+    # Round trips
+    # ------------------------------------------------------------------
+    def call(self, op: str, **fields: Any) -> dict:
+        """One raw protocol round trip (public for protocol tinkering)."""
+        if fields.get("deadline_ms") is None:
+            fields.pop("deadline_ms", None)
+            if self.deadline_ms is not None:
+                fields["deadline_ms"] = self.deadline_ms
+        request = {"id": next(self._ids), "op": op, **fields}
+        with self._lock:
+            self._file.write(protocol.encode(request))
+            self._file.flush()
+            line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = protocol.decode_line(line)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServerError(
+                error.get("code", protocol.INTERNAL),
+                error.get("message", "unspecified server error"),
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    # The public query API
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        sql: str,
+        engine: Optional[str] = None,
+        batch: int = 100,
+        prefetch: Optional[int] = None,
+        deadline_ms: Optional[int] = None,
+    ) -> "ResultCursor":
+        """Open a server-side cursor; returns an iterable cursor.
+
+        ``batch`` is the rows-per-``fetch`` page size; ``prefetch``
+        (default: ``batch``) rows ride along inline on the ``query``
+        response, saving a round trip for small results.
+        """
+        response = self.call(
+            "query",
+            sql=sql,
+            engine=engine,
+            fetch=batch if prefetch is None else prefetch,
+            deadline_ms=deadline_ms,
+        )
+        return ResultCursor(self, response, batch=batch, deadline_ms=deadline_ms)
+
+    def explain(
+        self, sql: str, engine: Optional[str] = None
+    ) -> str:
+        """The server's routed plan for ``sql``, as text."""
+        return self.call("explain", sql=sql, engine=engine)["explain"]
+
+    def stats(self) -> dict:
+        """Server stats: caches, cursors, metrics, RAM-model counters."""
+        response = self.call("stats")
+        return {k: v for k, v in response.items() if k not in ("id", "ok")}
+
+    def close_cursor(self, cursor_id: str) -> None:
+        self.call("close", cursor=cursor_id)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._file.close()
+            finally:
+                self._socket.close()
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _wire_pair(pair: list) -> tuple[tuple, Any]:
+    """A wire ``[row, weight]`` back into the library's ``(row, weight)``."""
+    row, weight = pair
+    return tuple(row), tuple(weight) if isinstance(weight, list) else weight
+
+
+class ResultCursor:
+    """Client-side view of one server cursor; iterate to stream rows.
+
+    Fetches lazily in ``batch``-sized pages: pausing iteration pauses the
+    server-side enumeration (that is the resumable-cursor contract), and
+    abandoning it early costs at most one page of wasted work — call
+    :meth:`close` to free the server slot immediately.
+    """
+
+    def __init__(
+        self,
+        client: Client,
+        response: dict,
+        batch: int,
+        deadline_ms: Optional[int] = None,
+    ) -> None:
+        self._client = client
+        self._batch = batch
+        self._deadline_ms = deadline_ms
+        self.cursor_id: Optional[str] = response.get("cursor")
+        self.columns: tuple[str, ...] = tuple(response.get("columns", ()))
+        self.engine: str = response.get("engine", "")
+        self.plan_cached: bool = bool(response.get("plan_cached"))
+        self._pending: list[tuple[tuple, Any]] = [
+            _wire_pair(p) for p in response.get("rows", ())
+        ]
+        self._done: bool = bool(response.get("done"))
+        #: True when the *last* round trip was cut short by its
+        #: ``deadline_ms`` (the partial rows are still delivered).
+        self.deadline_exceeded: bool = bool(
+            response.get("deadline_exceeded")
+        )
+
+    def fetch(self, n: Optional[int] = None) -> list[tuple[tuple, Any]]:
+        """One explicit fetch round trip (page of up to ``n`` results)."""
+        if self._done or self.cursor_id is None:
+            return []
+        response = self._client.call(
+            "fetch",
+            cursor=self.cursor_id,
+            n=n or self._batch,
+            deadline_ms=self._deadline_ms,
+        )
+        self._done = bool(response.get("done"))
+        self.deadline_exceeded = bool(response.get("deadline_exceeded"))
+        if self._done:
+            self.cursor_id = None  # the server auto-closed it
+        return [_wire_pair(p) for p in response.get("rows", ())]
+
+    def __iter__(self) -> Iterator[tuple[tuple, Any]]:
+        while True:
+            while self._pending:
+                yield self._pending.pop(0)
+            if self._done:
+                return
+            self._pending = self.fetch()
+            if not self._pending and not self._done:
+                # An empty page on an open cursor only happens when the
+                # request's deadline expired before the first row; each
+                # retry would get its own fresh deadline, so a loaded
+                # server could keep us spinning forever.  Fail loudly —
+                # the caller opted into deadlines.
+                raise DeadlineExceeded(
+                    "fetch produced no rows within deadline_ms="
+                    f"{self._deadline_ms or self._client.deadline_ms}; "
+                    f"cursor {self.cursor_id} is still open and resumable"
+                )
+            if not self._pending and self._done:
+                return
+
+    def fetchall(self) -> list[tuple[tuple, Any]]:
+        """Drain the remaining stream into a list."""
+        return list(self)
+
+    def close(self) -> None:
+        """Free the server-side session (idempotent)."""
+        if self.cursor_id is not None:
+            self._client.close_cursor(self.cursor_id)
+            self.cursor_id = None
+            self._done = True
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else f"open:{self.cursor_id}"
+        return (
+            f"ResultCursor({state}, columns={self.columns!r}, "
+            f"engine={self.engine!r})"
+        )

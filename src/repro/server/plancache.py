@@ -1,0 +1,88 @@
+"""LRU plan cache: normalized SQL + catalog fingerprint -> routed plan.
+
+Planning a statement costs a parse, semantic analysis against the
+catalog, filter materialization, and the router's shape analysis (GYO
+reduction, fractional-cover LP, possibly a tree decomposition).  A serving
+workload replays the same handful of statements endlessly, so the whole
+pipeline is memoized here — the same discipline as the fractional-cover
+LP memo in :mod:`repro.query.agm`, one level up.
+
+Correctness rests on two facts:
+
+- the key includes :func:`repro.engine.catalog.database_fingerprint`, so
+  a reshaped catalog (relations added/dropped/resized) misses the cache;
+- relation contents are immutable after registration (the library-wide
+  contract), so a cached plan's materialized working instance still
+  describes the data whenever the fingerprint matches.
+
+SQL normalization re-renders the parsed AST, so formatting differences
+(whitespace, keyword case, ``!=`` vs ``<>``) land on the same entry while
+semantically different statements never collide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+from repro.sql.parser import parse
+from repro.util.lru import LruCache
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.planner import Plan
+    from repro.sql.analyzer import CompiledQuery
+    from repro.sql.nodes import SelectStatement
+
+
+def normalize_sql(sql: str) -> tuple[str, "SelectStatement"]:
+    """Canonical text for ``sql`` (plus its parsed statement).
+
+    Parsing is the cheap front of the pipeline; re-rendering the AST
+    gives a canonical form for free.  The statement is returned too so a
+    cache miss can continue into semantic analysis without re-parsing.
+    """
+    statement = parse(sql)
+    return str(statement), statement
+
+
+@dataclass
+class CachedPlan:
+    """One plan-cache entry: everything execution needs, analysis-free."""
+
+    compiled: "CompiledQuery"
+    plan: "Plan"
+    hits: int = field(default=0)
+
+
+class PlanCache:
+    """Bounded, thread-safe LRU over :class:`CachedPlan` entries
+    (a thin veneer over :class:`repro.util.lru.LruCache`)."""
+
+    def __init__(self, maxsize: int = 128) -> None:
+        self._lru = LruCache(maxsize)
+
+    @staticmethod
+    def key(
+        normalized_sql: str, engine: Optional[str], fingerprint: tuple
+    ) -> tuple:
+        """The full cache key (engine overrides route differently)."""
+        return (normalized_sql, engine, fingerprint)
+
+    def lookup(self, key: tuple) -> Optional[CachedPlan]:
+        entry = self._lru.get(key)
+        if entry is not None:
+            entry.hits += 1
+        return entry
+
+    def store(self, key: tuple, entry: CachedPlan) -> None:
+        self._lru.put(key, entry)
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def info(self) -> dict:
+        """Hit/miss counters for the ``stats`` endpoint."""
+        return self._lru.info()

@@ -1,0 +1,157 @@
+"""The JSON-lines wire protocol.
+
+One request per line, one response per line, both UTF-8 JSON objects —
+the simplest framing that composes with ``nc``, log files, and every
+language's standard library.  All requests share the envelope::
+
+    {"id": <any>, "op": "query" | "fetch" | "explain" | "close" | "stats",
+     ...op fields..., "deadline_ms": <optional int>}
+
+and all responses echo the id::
+
+    {"id": <any>, "ok": true,  ...payload...}
+    {"id": <any>, "ok": false, "error": {"code": "...", "message": "..."}}
+
+Op fields (see :class:`repro.server.service.QueryService` for semantics):
+
+``query``
+    ``sql`` (required), ``engine`` (optional router override), ``fetch``
+    (optional int: rows to inline in the response, default 0).
+``fetch``
+    ``cursor`` (required), ``n`` (optional int, default server batch).
+``explain``
+    ``sql`` (required), ``engine`` (optional).
+``close``
+    ``cursor`` (required).
+``stats``
+    no fields.
+
+``deadline_ms`` bounds row production for this request: the server stops
+pulling results once the deadline passes and returns the partial batch
+with ``"deadline_exceeded": true`` (the anytime property as a per-request
+latency SLO).  Rows travel as ``[row_values..., weight]``-shaped pairs in
+``"rows": [[row, weight], ...]`` with tuples rendered as JSON arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+#: Protocol revision, echoed by the ``stats`` op.
+PROTOCOL_VERSION = 1
+
+#: Default TCP port of ``repro-serve`` (overridable everywhere).
+DEFAULT_PORT = 7632
+
+#: op name -> required field names.
+OPS: dict[str, tuple[str, ...]] = {
+    "query": ("sql",),
+    "fetch": ("cursor",),
+    "explain": ("sql",),
+    "close": ("cursor",),
+    "stats": (),
+}
+
+# Error codes (the machine-readable half of every failure).
+BAD_REQUEST = "bad_request"
+SQL_ERROR = "sql_error"
+UNKNOWN_CURSOR = "unknown_cursor"
+CURSOR_LIMIT = "cursor_limit"
+INTERNAL = "internal"
+
+
+class ProtocolError(Exception):
+    """A malformed request (bad JSON, missing op/fields, wrong types)."""
+
+    def __init__(self, message: str, code: str = BAD_REQUEST) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+def encode(message: dict) -> bytes:
+    """One response/request as a JSON line (newline-terminated bytes)."""
+    return (json.dumps(message, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one wire line into a request dict.
+
+    Raises :class:`ProtocolError` on malformed JSON or a non-object
+    payload — the server answers those with a ``bad_request`` error
+    instead of dropping the connection.
+    """
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def validate_request(request: dict) -> str:
+    """Check the envelope; returns the op name.
+
+    Field-level validation (types of ``n``, ``fetch``, ``deadline_ms``)
+    also happens here so the service layer only sees well-formed input.
+    """
+    op = request.get("op")
+    if not isinstance(op, str) or op not in OPS:
+        known = ", ".join(sorted(OPS))
+        raise ProtocolError(f"unknown op {op!r}; known ops: {known}")
+    for name in OPS[op]:
+        if name not in request:
+            raise ProtocolError(f"op {op!r} requires a {name!r} field")
+    if op in ("query", "explain") and not isinstance(request["sql"], str):
+        raise ProtocolError("'sql' must be a string")
+    if op in ("fetch", "close") and not isinstance(request["cursor"], str):
+        raise ProtocolError("'cursor' must be a string (a cursor id)")
+    # 'n' asks for rows (>= 1: an empty page would read as a timeout);
+    # 'fetch' may be 0, the explicit "open the cursor, inline nothing".
+    if "n" in request and (
+        not isinstance(request["n"], int) or request["n"] < 1
+    ):
+        raise ProtocolError("'n' must be a positive integer")
+    if "fetch" in request and (
+        not isinstance(request["fetch"], int) or request["fetch"] < 0
+    ):
+        raise ProtocolError("'fetch' must be a non-negative integer")
+    deadline = request.get("deadline_ms")
+    if deadline is not None and (
+        not isinstance(deadline, (int, float)) or deadline <= 0
+    ):
+        raise ProtocolError("'deadline_ms' must be a positive number")
+    engine = request.get("engine")
+    if engine is not None and not isinstance(engine, str):
+        raise ProtocolError("'engine' must be a string engine name")
+    return op
+
+
+def ok_response(request_id: Any, payload: dict) -> dict:
+    """Success envelope around ``payload``."""
+    return {"id": request_id, "ok": True, **payload}
+
+
+def error_response(request_id: Any, code: str, message: str) -> dict:
+    """Failure envelope with a machine-readable code."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def jsonable_rows(rows: list) -> list:
+    """``(row, weight)`` pairs as JSON-serializable nested lists.
+
+    Weights in the lex carrier are tuples of floats; they become JSON
+    arrays (and the client turns them back into tuples).
+    """
+    return [[list(row), _jsonable_weight(weight)] for row, weight in rows]
+
+
+def _jsonable_weight(weight: Any) -> Any:
+    return list(weight) if isinstance(weight, tuple) else weight

@@ -1,0 +1,322 @@
+"""The transport-agnostic query service: dicts in, dicts out.
+
+:class:`QueryService` is the whole server minus the sockets — request
+validation, plan caching, cursor lifecycle, deadlines, and error mapping
+all live here, so tests and benchmarks exercise the real code paths
+in-process and the TCP layer (:mod:`repro.server.tcp`) stays a dumb pipe.
+
+The request/response shapes are those of
+:mod:`repro.server.protocol`; :meth:`QueryService.handle` is the single
+entry point the wire handler calls per line.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Optional
+
+from repro.anyk.api import PausableStream, StreamClosed
+from repro.data.database import Database
+from repro.engine.catalog import StatsCache, database_fingerprint
+from repro.engine.executor import execute
+from repro.engine.planner import plan_compiled
+from repro.query.cq import QueryError
+# Submodule-style import: safe under the package's partially-initialized
+# state when ``repro.server/__init__`` pulls this module in (PEP 328's
+# sys.modules fallback applies to ``import a.b as b``).
+import repro.server.protocol as protocol
+from repro.server.cursors import (
+    CursorLimitError,
+    CursorManager,
+    UnknownCursorError,
+)
+from repro.server.plancache import CachedPlan, PlanCache, normalize_sql
+from repro.sql import _check_engine
+from repro.sql.analyzer import analyze_statement
+from repro.sql.errors import SqlError
+from repro.util.counters import Counters
+
+
+class QueryService:
+    """Stateful any-k query service over one (immutable) database.
+
+    Parameters
+    ----------
+    db:
+        The catalog to serve.  Relations are treated as immutable for the
+        server's lifetime (the plan cache's correctness contract).
+    max_cursors:
+        Admission limit on concurrently open cursors.
+    plan_cache_size / stats_cache_size:
+        LRU capacities of the plan cache and the cached-stats catalog.
+    default_batch:
+        Rows per ``fetch`` when the request does not say.
+    idle_evict_s:
+        Idle age beyond which a cursor may be evicted under admission
+        pressure (None: never evict, reject instead).
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        max_cursors: int = 64,
+        plan_cache_size: int = 128,
+        stats_cache_size: int = 1024,
+        default_batch: int = 100,
+        idle_evict_s: Optional[float] = 600.0,
+    ) -> None:
+        self.db = db
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.stats_cache = StatsCache(stats_cache_size)
+        self.cursors = CursorManager(
+            max_cursors,
+            idle_evict_s=idle_evict_s,
+            # Evicted sessions' work lands in the aggregate exactly like
+            # explicitly closed ones.
+            on_evict=lambda cursor: self.counters.merge(cursor.counters),
+        )
+        self.default_batch = default_batch
+        #: Server-wide RAM-model work, aggregated from per-cursor counters
+        #: when cursors close (thread-safe merge).
+        self.counters = Counters()
+        self._started = time.monotonic()
+        self._metrics_lock = threading.Lock()
+        self._queries = 0
+        self._fetches = 0
+        self._rows_served = 0
+
+    # ------------------------------------------------------------------
+    # Planning (cached)
+    # ------------------------------------------------------------------
+    def plan(self, sql: str, engine: Optional[str] = None) -> tuple[CachedPlan, bool]:
+        """The (possibly cached) compiled statement + routed plan.
+
+        Returns ``(entry, was_cached)``.  The full pipeline — parse →
+        analyze → route, including filter materialization — runs only on
+        a miss; hits cost one parse (for normalization) and a dict probe.
+        """
+        _check_engine(engine)
+        normalized, statement = normalize_sql(sql)
+        fingerprint = database_fingerprint(self.db)
+        key = PlanCache.key(normalized, engine, fingerprint)
+        entry = self.plan_cache.lookup(key)
+        if entry is not None:
+            return entry, True
+        compiled = analyze_statement(self.db, sql, statement)
+        routed = plan_compiled(
+            self.db, compiled, engine=engine, stats_cache=self.stats_cache
+        )
+        entry = CachedPlan(compiled, routed)
+        self.plan_cache.store(key, entry)
+        return entry, False
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        sql: str,
+        engine: Optional[str] = None,
+        fetch: int = 0,
+        deadline: Optional[float] = None,
+    ) -> dict:
+        """Open a cursor for ``sql``; optionally inline the first rows.
+
+        The cursor holds the *paused* enumeration: nothing beyond the
+        inlined prefix is computed until the next ``fetch``.
+        """
+        # Refuse before planning: under overload (the admission limit's
+        # regime), a doomed request must not pay parse+analyze+route or
+        # pollute the plan cache.  cursors.open() re-checks at the end.
+        self.cursors.ensure_capacity()
+        entry, was_cached = self.plan(sql, engine=engine)
+        session_counters = Counters()
+        stream = PausableStream(
+            execute(self.db, entry.compiled, entry.plan, counters=session_counters)
+        )
+        cursor = self.cursors.open(
+            sql=sql,
+            engine=entry.plan.engine,
+            columns=entry.compiled.output_columns,
+            stream=stream,
+            counters=session_counters,
+        )
+        with self._metrics_lock:
+            self._queries += 1
+        payload: dict[str, Any] = {
+            "cursor": cursor.id,
+            "columns": list(entry.compiled.output_columns),
+            "engine": entry.plan.engine,
+            "plan_cached": was_cached,
+            "rows": [],
+            "done": False,
+        }
+        if fetch > 0:
+            try:
+                payload.update(self._fetch_into(cursor, fetch, deadline))
+            except Exception:
+                # The inline prefetch failed after the slot was taken; the
+                # error response carries no cursor id, so an unreleased
+                # slot would be unclosable and pin capacity forever.
+                self._finish(cursor.id)
+                raise
+            if payload["done"]:
+                self._finish(cursor.id)
+                payload["cursor"] = None
+        return payload
+
+    def fetch(
+        self,
+        cursor_id: str,
+        n: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> dict:
+        """Resume a paused cursor for up to ``n`` more ranked results."""
+        cursor = self.cursors.get(cursor_id)
+        with self._metrics_lock:
+            self._fetches += 1
+        payload: dict[str, Any] = {"cursor": cursor_id}
+        payload.update(
+            self._fetch_into(cursor, n or self.default_batch, deadline)
+        )
+        payload["emitted"] = cursor.emitted
+        if payload["done"]:
+            self._finish(cursor_id)
+        return payload
+
+    def _fetch_into(
+        self, cursor, n: int, deadline: Optional[float]
+    ) -> dict:
+        try:
+            rows, done = cursor.fetch(n, deadline=deadline)
+        except StreamClosed:
+            # Lost the race with a concurrent close/eviction after the
+            # cursor lookup: the session is gone, and saying "done" would
+            # silently truncate the ranked stream.
+            raise UnknownCursorError(
+                f"cursor {cursor.id!r} was closed while this fetch was in "
+                "flight"
+            ) from None
+        with self._metrics_lock:
+            self._rows_served += len(rows)
+        out: dict[str, Any] = {
+            "rows": protocol.jsonable_rows(rows),
+            "done": done,
+        }
+        if (
+            not done
+            and deadline is not None
+            and len(rows) < n
+            and time.monotonic() >= deadline
+        ):
+            out["deadline_exceeded"] = True
+        return out
+
+    def _finish(self, cursor_id: str) -> None:
+        """Close a drained cursor, folding its work into the aggregate."""
+        try:
+            cursor = self.cursors.close(cursor_id)
+        except UnknownCursorError:
+            return
+        self.counters.merge(cursor.counters)
+
+    def explain(self, sql: str, engine: Optional[str] = None) -> dict:
+        """The routed plan as text (cached like ``query`` plans)."""
+        from repro.sql import render_explain
+
+        entry, was_cached = self.plan(sql, engine=engine)
+        return {
+            "explain": render_explain(entry.compiled, entry.plan),
+            "engine": entry.plan.engine,
+            "plan_cached": was_cached,
+        }
+
+    def close(self, cursor_id: str) -> dict:
+        """Explicitly free a cursor's session state."""
+        cursor = self.cursors.close(cursor_id)  # raises UnknownCursorError
+        self.counters.merge(cursor.counters)
+        return {"closed": cursor_id, "emitted": cursor.emitted}
+
+    def stats(self) -> dict:
+        """Observability: caches, cursors, service metrics, RAM-model work."""
+        with self._metrics_lock:
+            metrics = {
+                "queries": self._queries,
+                "fetches": self._fetches,
+                "rows_served": self._rows_served,
+            }
+        return {
+            "version": protocol.PROTOCOL_VERSION,
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "relations": self.db.names(),
+            "total_tuples": self.db.total_tuples(),
+            **metrics,
+            "plan_cache": self.plan_cache.info(),
+            "stats_cache": self.stats_cache.info(),
+            "cursors": self.cursors.stats(),
+            "counters": self.counters.snapshot(),
+        }
+
+    def shutdown(self) -> None:
+        """Close every open cursor (their work still lands in stats)."""
+        for cursor in self.cursors.close_all():
+            self.counters.merge(cursor.counters)
+
+    # ------------------------------------------------------------------
+    # Protocol entry point
+    # ------------------------------------------------------------------
+    def handle(self, request: dict) -> dict:
+        """One protocol request -> one protocol response (never raises)."""
+        request_id = request.get("id")
+        try:
+            op = protocol.validate_request(request)
+        except protocol.ProtocolError as exc:
+            return protocol.error_response(request_id, exc.code, str(exc))
+        deadline_ms = request.get("deadline_ms")
+        deadline = (
+            time.monotonic() + deadline_ms / 1000.0
+            if deadline_ms is not None
+            else None
+        )
+        try:
+            if op == "query":
+                payload = self.query(
+                    request["sql"],
+                    engine=request.get("engine"),
+                    fetch=request.get("fetch", 0),
+                    deadline=deadline,
+                )
+            elif op == "fetch":
+                payload = self.fetch(
+                    request["cursor"],
+                    n=request.get("n"),
+                    deadline=deadline,
+                )
+            elif op == "explain":
+                payload = self.explain(
+                    request["sql"], engine=request.get("engine")
+                )
+            elif op == "close":
+                payload = self.close(request["cursor"])
+            else:  # "stats" — validate_request admits nothing else
+                payload = self.stats()
+        except CursorLimitError as exc:
+            return protocol.error_response(
+                request_id, protocol.CURSOR_LIMIT, str(exc)
+            )
+        except UnknownCursorError as exc:
+            return protocol.error_response(
+                request_id, protocol.UNKNOWN_CURSOR, str(exc)
+            )
+        except (SqlError, QueryError) as exc:
+            return protocol.error_response(
+                request_id, protocol.SQL_ERROR, str(exc)
+            )
+        except Exception as exc:  # the wire must answer, not unwind
+            return protocol.error_response(
+                request_id,
+                protocol.INTERNAL,
+                f"{type(exc).__name__}: {exc}",
+            )
+        return protocol.ok_response(request_id, payload)

@@ -1,0 +1,98 @@
+"""JSON-lines-over-TCP transport: a stdlib ``socketserver`` thread pool.
+
+Each connection gets a handler thread (``ThreadingMixIn`` with daemon
+threads — no new dependencies); each request line is dispatched to the
+shared :class:`~repro.server.service.QueryService`, whose cursor manager
+and caches are thread-safe.  Cursors are server-global, not
+per-connection: a cursor opened on one connection can be resumed from
+another (or after a reconnect), which is the whole point of resumable
+enumeration state.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Optional
+
+from repro.data.database import Database
+import repro.server.protocol as protocol
+from repro.server.service import QueryService
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One connection: read request lines, write response lines."""
+
+    def handle(self) -> None:
+        service: QueryService = self.server.service  # type: ignore[attr-defined]
+        for line in self.rfile:
+            if not line.strip():
+                continue
+            try:
+                request = protocol.decode_line(line)
+            except protocol.ProtocolError as exc:
+                response = protocol.error_response(None, exc.code, str(exc))
+            else:
+                response = service.handle(request)
+            try:
+                self.wfile.write(protocol.encode(response))
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return  # client went away mid-response; nothing to do
+
+
+class AnykTCPServer(socketserver.ThreadingMixIn, socketserver.TCPServer):
+    """The ranked-enumeration service bound to a TCP address.
+
+    ``port=0`` binds an ephemeral port; read it back from
+    :attr:`bound_port`.  The server owns its :class:`QueryService` (pass
+    one in to share it with in-process callers, e.g. benchmarks comparing
+    wire vs direct dispatch).
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self,
+        db: Database,
+        host: str = "127.0.0.1",
+        port: int = protocol.DEFAULT_PORT,
+        service: Optional[QueryService] = None,
+        **service_options,
+    ) -> None:
+        self.service = service or QueryService(db, **service_options)
+        super().__init__((host, port), _RequestHandler)
+
+    @property
+    def bound_port(self) -> int:
+        return self.server_address[1]
+
+    def server_close(self) -> None:
+        # Free every cursor's enumeration state along with the socket.
+        self.service.shutdown()
+        super().server_close()
+
+
+def serve_background(
+    db: Database,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    service: Optional[QueryService] = None,
+    **service_options,
+) -> tuple[AnykTCPServer, int]:
+    """Start a server on a daemon thread; returns ``(server, port)``.
+
+    The convenience entry for tests, examples, and benchmarks.  Stop it
+    with ``server.shutdown(); server.server_close()``.
+    """
+    server = AnykTCPServer(
+        db, host=host, port=port, service=service, **service_options
+    )
+    thread = threading.Thread(
+        target=server.serve_forever,
+        name="repro-serve",
+        daemon=True,
+    )
+    thread.start()
+    return server, server.bound_port

@@ -111,11 +111,12 @@ def query(
     return SqlResult(compiled, plan, stream)
 
 
-def explain(db: Database, sql: str, engine: Optional[str] = None) -> str:
-    """The routed plan for ``sql``, rendered as text (no execution)."""
-    _check_engine(engine)
-    compiled = analyze(db, sql)
-    plan = plan_compiled(db, compiled, engine=engine)
+def render_explain(compiled: CompiledQuery, plan: Plan) -> str:
+    """EXPLAIN text for an already-compiled, already-routed statement.
+
+    Shared by :func:`explain` and the server's ``explain`` op (which
+    renders from its plan cache instead of re-analyzing).
+    """
     lines = [f"sql:      {compiled.statement}"]
     if compiled.filters:
         lines.append(
@@ -129,6 +130,14 @@ def explain(db: Database, sql: str, engine: Optional[str] = None) -> str:
     return "\n".join(lines)
 
 
+def explain(db: Database, sql: str, engine: Optional[str] = None) -> str:
+    """The routed plan for ``sql``, rendered as text (no execution)."""
+    _check_engine(engine)
+    compiled = analyze(db, sql)
+    plan = plan_compiled(db, compiled, engine=engine)
+    return render_explain(compiled, plan)
+
+
 __all__ = [
     "CompiledQuery",
     "Plan",
@@ -139,4 +148,5 @@ __all__ = [
     "explain",
     "parse",
     "query",
+    "render_explain",
 ]

@@ -13,6 +13,7 @@ back the different ``ANYK-PART`` successor strategies.
 """
 
 from repro.util.counters import Counters, global_counters, reset_global_counters
+from repro.util.lru import LruCache
 from repro.util.heaps import (
     BinaryHeap,
     IncrementalQuickSelect,
@@ -22,6 +23,7 @@ from repro.util.heaps import (
 
 __all__ = [
     "Counters",
+    "LruCache",
     "global_counters",
     "reset_global_counters",
     "BinaryHeap",

@@ -18,12 +18,22 @@ testbed (see DESIGN.md, substitution table).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, fields
 
 
 @dataclass
 class Counters:
     """Mutable bundle of operation counts.
+
+    Thread-safety contract: the hot-path idiom ``counters.heap_ops += 1``
+    stays a plain attribute bump (engines are single-threaded per
+    invocation and own a private instance), while every *shared* update
+    path — :meth:`bump`, :meth:`add`, :meth:`merge`, :meth:`reset` — and
+    the consistent readers :meth:`snapshot` / :meth:`total_work` take an
+    internal lock.  Concurrent sessions (the :mod:`repro.server` regime)
+    therefore count into private instances and :meth:`merge` them into a
+    shared aggregate without losing updates.
 
     Attributes
     ----------
@@ -55,29 +65,53 @@ class Counters:
     random_accesses: int = 0
     heap_ops: int = 0
     extras: dict = field(default_factory=dict)
+    #: Guards every cross-thread update/read path.  ``repr=False`` keeps
+    #: dataclass rendering clean; ``compare=False`` keeps equality on the
+    #: counts themselves.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def reset(self) -> None:
-        """Zero every counter in place."""
-        for f in fields(self):
-            if f.name == "extras":
-                self.extras.clear()
-            else:
-                setattr(self, f.name, 0)
+        """Zero every counter in place (atomic)."""
+        with self._lock:
+            for f in fields(self):
+                if f.name == "extras":
+                    self.extras.clear()
+                elif f.name != "_lock":
+                    setattr(self, f.name, 0)
 
     def bump(self, name: str, amount: int = 1) -> None:
-        """Increment a named extra counter (created on first use)."""
-        self.extras[name] = self.extras.get(name, 0) + amount
+        """Increment a named extra counter (created on first use, atomic)."""
+        with self._lock:
+            self.extras[name] = self.extras.get(name, 0) + amount
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Atomically increment a *field* counter by name.
+
+        The thread-safe alternative to ``counters.tuples_read += 1`` for
+        instances shared across threads (server-wide aggregates).
+        """
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
 
     def total_accesses(self) -> int:
         """Middleware cost: sorted plus random accesses (TA model)."""
-        return self.sorted_accesses + self.random_accesses
+        with self._lock:
+            return self.sorted_accesses + self.random_accesses
 
     def total_work(self) -> int:
         """A single RAM-model-ish scalar: the sum of all counted operations.
 
         Useful for quick comparisons in benchmarks; individual counters are
-        reported alongside it so no information is lost.
+        reported alongside it so no information is lost.  Taken under the
+        lock so a read racing a concurrent :meth:`merge` never sees a
+        partially-merged sum.
         """
+        with self._lock:
+            return self._total_work_locked()
+
+    def _total_work_locked(self) -> int:
         base = (
             self.tuples_read
             + self.intermediate_tuples
@@ -91,22 +125,38 @@ class Counters:
         return base + sum(self.extras.values())
 
     def snapshot(self) -> dict:
-        """Return the counters as a plain dict (for bench reporting)."""
-        out = {
-            f.name: getattr(self, f.name) for f in fields(self) if f.name != "extras"
-        }
-        out.update(self.extras)
-        out["total_work"] = self.total_work()
+        """Return the counters as a plain dict (for bench reporting).
+
+        Taken under the lock, so a snapshot racing concurrent
+        :meth:`add`/:meth:`bump`/:meth:`merge` calls is internally
+        consistent.
+        """
+        with self._lock:
+            out = {
+                f.name: getattr(self, f.name)
+                for f in fields(self)
+                if f.name not in ("extras", "_lock")
+            }
+            out.update(self.extras)
+        out["total_work"] = sum(v for v in out.values())
         return out
 
     def merge(self, other: "Counters") -> "Counters":
-        """Add ``other``'s counts into ``self`` and return ``self``."""
-        for f in fields(self):
-            if f.name == "extras":
-                for key, value in other.extras.items():
-                    self.bump(key, value)
-            else:
-                setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        """Add ``other``'s counts into ``self`` and return ``self``.
+
+        Atomic on ``self``; ``other`` must be quiescent (no concurrent
+        writers) while merged — the per-session-then-aggregate pattern
+        guarantees that.
+        """
+        with self._lock:
+            for f in fields(self):
+                if f.name == "extras":
+                    for key, value in other.extras.items():
+                        self.extras[key] = self.extras.get(key, 0) + value
+                elif f.name != "_lock":
+                    setattr(
+                        self, f.name, getattr(self, f.name) + getattr(other, f.name)
+                    )
         return self
 
 

@@ -71,3 +71,72 @@ def test_global_counters_reset_helper():
     returned = reset_global_counters()
     assert returned is global_counters
     assert global_counters.tuples_read == 0
+
+
+# ----------------------------------------------------------------------
+# Thread safety (the concurrent-server regime)
+# ----------------------------------------------------------------------
+def test_concurrent_bump_add_merge_lose_no_updates():
+    """Hammer the shared-update paths from many threads; totals are exact.
+
+    Without the internal lock, ``bump``'s read-modify-write on the extras
+    dict and ``merge``'s field loop both lose updates under contention —
+    this is the regression test for the server's counters aggregation.
+    """
+    import threading
+
+    shared = Counters()
+    threads_n, iterations = 8, 2000
+
+    def worker(seed: int) -> None:
+        local = Counters()
+        for i in range(iterations):
+            shared.bump("wire_requests")
+            shared.add("tuples_read", 2)
+            local.heap_ops += 1          # private instance: plain bumps OK
+            local.bump("session_rows", 3)
+            if i % 100 == 99:
+                shared.merge(local)
+                local = Counters()
+        shared.merge(local)
+
+    threads = [
+        threading.Thread(target=worker, args=(t,)) for t in range(threads_n)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    total = threads_n * iterations
+    assert shared.extras["wire_requests"] == total
+    assert shared.tuples_read == 2 * total
+    assert shared.heap_ops == total
+    assert shared.extras["session_rows"] == 3 * total
+
+
+def test_snapshot_is_consistent_under_concurrent_merges():
+    import threading
+
+    shared = Counters()
+    stop = threading.Event()
+
+    def writer() -> None:
+        delta = Counters()
+        delta.tuples_read = 1
+        delta.bump("x", 1)
+        while not stop.is_set():
+            shared.merge(delta)
+
+    threads = [threading.Thread(target=writer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    try:
+        for _ in range(200):
+            snap = shared.snapshot()
+            # Each merge adds one tuples_read and one x together; a torn
+            # snapshot would catch them mid-merge and disagree wildly.
+            assert abs(snap["tuples_read"] - snap.get("x", 0)) <= 4
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60)

@@ -53,6 +53,15 @@ def test_anyk_showcase_runs():
 
 
 @pytest.mark.slow
+def test_serve_client_runs():
+    out = _run("serve_client.py")
+    assert "identical to one uninterrupted run: True" in out
+    assert "plan_cached=True" in out
+    assert "cursor_limit" in out
+    assert "server stopped cleanly" in out
+
+
+@pytest.mark.slow
 def test_factorized_aggregates_runs():
     out = _run("factorized_aggregates.py")
     assert "any-k agrees" in out

@@ -1,0 +1,51 @@
+"""The shared bounded LRU (`repro.util.lru`) backing the plan and stats
+caches."""
+
+import threading
+
+import pytest
+
+from repro.util import LruCache
+
+
+def test_eviction_is_least_recently_used():
+    cache = LruCache(2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1  # freshen a; b is now least-recent
+    cache.put("c", 3)
+    assert cache.get("b") is None
+    assert cache.get("a") == 1 and cache.get("c") == 3
+    assert len(cache) == 2
+
+
+def test_hit_miss_accounting_and_clear():
+    cache = LruCache(4)
+    assert cache.get("x") is None
+    cache.put("x", 42)
+    assert cache.get("x") == 42
+    info = cache.info()
+    assert info["hits"] == 1 and info["misses"] == 1 and info["entries"] == 1
+    cache.clear()
+    assert len(cache) == 0 and cache.info()["hits"] == 0
+
+
+def test_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        LruCache(0)
+
+
+def test_concurrent_put_get_stays_bounded():
+    cache = LruCache(8)
+
+    def worker(base: int) -> None:
+        for i in range(500):
+            cache.put((base, i % 16), i)
+            cache.get((base, (i + 1) % 16))
+
+    threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert len(cache) <= 8

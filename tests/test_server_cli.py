@@ -1,0 +1,92 @@
+"""The ``repro-serve`` console entry: spec parsing fast, boot smoke slow.
+
+The boot test is what CI's "server smoke" job runs: start the real
+subprocess, wait for the ``listening on`` line, run a client query over
+the wire, and require a clean shutdown.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.server.cli import build_parser, parse_generator_spec
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def test_generator_spec_parses_to_database():
+    db = parse_generator_spec("path:length=3,size=60,domain=10,seed=3")
+    assert set(db.names()) == {"R1", "R2", "R3"}
+    assert len(db["R1"]) == 60
+    graph = parse_generator_spec("graph:num_edges=50,num_nodes=20,seed=1")
+    assert graph.names() == ["E"]
+
+
+def test_generator_spec_rejects_garbage():
+    with pytest.raises(SystemExit):
+        parse_generator_spec("warp:size=10")
+    with pytest.raises(SystemExit):
+        parse_generator_spec("path:length")
+    with pytest.raises(SystemExit):
+        parse_generator_spec("path:length=three")
+    with pytest.raises(SystemExit):
+        parse_generator_spec("path:warp_factor=9")
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["--demo", "star"])
+    assert args.demo == "star"
+    assert args.max_cursors == 64
+    assert args.port != 0  # the published default port
+
+
+@pytest.mark.slow
+def test_serve_boot_and_client_smoke():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.server.cli",
+            "--demo",
+            "graph",
+            "--port",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        port = None
+        for _ in range(2):
+            line = process.stdout.readline()
+            if "listening on" in line:
+                port = int(line.rsplit(":", 1)[1])
+        assert port, "repro-serve never printed its listening line"
+
+        from repro.server import Client
+
+        sql = (
+            "SELECT * FROM E AS e1 JOIN E AS e2 ON e1.dst = e2.src "
+            "ORDER BY weight LIMIT 12"
+        )
+        with Client(port=port) as client:
+            rows = client.execute(sql, batch=5).fetchall()
+            assert len(rows) == 12
+            weights = [w for _, w in rows]
+            assert weights == sorted(weights)
+            assert client.stats()["queries"] == 1
+        process.send_signal(signal.SIGINT)
+        assert process.wait(timeout=30) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
