@@ -1,0 +1,128 @@
+"""E20 — partition-parallel any-k: exactness first, speedup second.
+
+Two claims, per workload (a large path query and a large star query):
+
+1. **Exactness** (asserted): the 4-shard merged ranked prefix is
+   *exactly* — rows, weights, and tie order — the serial prefix.  This
+   is the whole point of the deterministic merge: parallelism is an
+   executor detail, invisible in the stream of bytes.
+2. **Speedup** (measured, reported): wall-clock to the top-k through 4
+   worker processes vs. serial, plus the fork+pickle overhead paid at
+   startup.  On a single-core container the ratio hovers near (or
+   below) 1 — the table is the honest record either way; the RAM-model
+   counter series (per-shard work sums to ~serial work) is the
+   machine-independent story.
+
+Run:  pytest benchmarks/bench_e20_parallel.py -o python_functions='bench_*' -q -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.anyk.api import rank_enumerate
+from repro.data.generators import path_database, star_database
+from repro.parallel import parallel_rank_enumerate
+from repro.query.cq import path_query, star_query
+from repro.util.counters import Counters
+
+from common import print_table
+
+WORKERS = 4
+K = 1000
+
+
+def _workloads():
+    return [
+        (
+            "path ℓ=3, n=6000",
+            path_database(length=3, size=6000, domain=120, seed=20),
+            path_query(3),
+        ),
+        (
+            "star arms=3, n=5000",
+            star_database(arms=3, size=5000, domain=100, seed=21),
+            star_query(3),
+        ),
+    ]
+
+
+def _time_prefix(factory):
+    start = time.perf_counter()
+    results = list(factory())
+    return results, time.perf_counter() - start
+
+
+def bench_e20_parallel_exactness_and_speedup(benchmark):
+    rows = []
+    for label, db, query in _workloads():
+        serial_counters = Counters()
+        serial, serial_s = _time_prefix(
+            lambda: rank_enumerate(
+                db, query, method="part:lazy", k=K, counters=serial_counters
+            )
+        )
+
+        parallel_counters = Counters()
+        start = time.perf_counter()
+        stream = parallel_rank_enumerate(
+            db,
+            query,
+            method="part:lazy",
+            k=K,
+            counters=parallel_counters,
+            workers=WORKERS,
+        )
+        first = next(stream)
+        startup_s = time.perf_counter() - start
+        merged = [first] + list(stream)
+        parallel_s = time.perf_counter() - start
+
+        # The acceptance criterion: byte-identical ranked prefixes.
+        assert merged == serial, (
+            f"{label}: merged 4-shard prefix diverged from serial "
+            f"({merged[:2]} vs {serial[:2]})"
+        )
+
+        rows.append(
+            (
+                label,
+                len(serial),
+                f"{serial_s:.3f}s",
+                f"{parallel_s:.3f}s",
+                f"{startup_s:.3f}s",
+                f"{serial_s / parallel_s:.2f}x",
+                serial_counters.total_work(),
+                parallel_counters.total_work(),
+            )
+        )
+
+    print_table(
+        f"E20: serial vs {WORKERS}-shard parallel top-{K} (part:lazy), "
+        "merged prefix asserted byte-identical",
+        [
+            "workload",
+            "k",
+            "serial",
+            "parallel",
+            "TTF(par)",
+            "speedup",
+            "work(serial)",
+            "work(par)",
+        ],
+        rows,
+    )
+
+    # One representative timed region for pytest-benchmark runs.
+    label, db, query = _workloads()[0]
+    benchmark(
+        lambda: list(
+            parallel_rank_enumerate(
+                db, query, method="part:lazy", k=50, workers=WORKERS
+            )
+        )
+    )
+
+
+if __name__ == "__main__":  # direct run: no pytest-benchmark needed
+    bench_e20_parallel_exactness_and_speedup(lambda f: f())

@@ -19,7 +19,10 @@ On top sits a declarative surface: a SQL front-end (:mod:`repro.sql`,
 ``SELECT ... ORDER BY weight LIMIT k``, CLI ``repro-sql``) and a
 cost-based engine router (:mod:`repro.engine`, also reachable as
 ``rank_enumerate(..., method="auto")``) that picks among the engines
-above by query shape, k, and AGM estimates.
+above by query shape, k, and AGM estimates — including whether to shard
+the database across worker processes (:mod:`repro.parallel`,
+``rank_enumerate(..., workers=N)``) and lazily merge the per-shard
+ranked streams back into one byte-identical global stream.
 
 Quickstart::
 
@@ -47,7 +50,7 @@ from repro.query import (
 )
 from repro.util.counters import Counters
 
-__version__ = "1.1.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Database",

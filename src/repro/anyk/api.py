@@ -46,7 +46,7 @@ from repro.anyk.cyclic import (
     rank_enumerate_ghd,
 )
 from repro.anyk.part import STRATEGIES, anyk_part, naive_lawler
-from repro.anyk.ranking import RankingFunction, SUM
+from repro.anyk.ranking import RankingFunction, SUM, stabilize_ties
 from repro.anyk.rec import anyk_rec
 from repro.anyk.tdp import TDP
 from repro.data.database import Database
@@ -84,6 +84,8 @@ def rank_enumerate(
     method: str = "part:lazy",
     k: Optional[int] = None,
     counters: Optional[Counters] = None,
+    workers: Optional[int] = None,
+    deterministic: bool = True,
 ) -> Iterator[tuple[tuple, Any]]:
     """Enumerate query answers in nondecreasing ranking order.
 
@@ -91,18 +93,69 @@ def rank_enumerate(
     ``weight`` lives in the ranking function's carrier (a float for SUM /
     MAX / PRODUCT).  ``k`` truncates the stream; omitted, the stream runs
     to exhaustion (the "any-k" contract: callers stop whenever satisfied).
+
+    Equal-weight results are emitted in :func:`solution_tie_key` order
+    (tuple identity), so the stream is a pure function of the query and
+    data — not of engine internals.  The cost is buffering one tie group
+    at a time, which degenerates exactly when weights degenerate: an
+    *unweighted* join (every weight 0.0) is one output-sized tie group,
+    so its first result waits for the whole join.  Pass
+    ``deterministic=False`` to skip tie stabilization and recover strict
+    anytime delay there — ties then follow engine internals, and
+    parallel execution is refused (a nondeterministic shard merge could
+    not match any serial order).
+
+    ``workers > 1`` requests partition-parallel execution: the database
+    is hash-sharded on a join attribute, each shard enumerates in its own
+    worker process, and the per-shard streams are lazily merged back into
+    one globally ranked stream (:mod:`repro.parallel`), byte-identical to
+    the serial stream.  Queries the sharder cannot split soundly (cyclic
+    shapes, unregistered rankings) silently run serial; with
+    ``method="auto"`` the cost-based router additionally vetoes sharding
+    when the input is too small to amortize fork+pickle overhead (the
+    decision is visible in ``explain()``).
     """
     query.validate(db)
     if k is not None and k < 1:
         raise ValueError("k must be >= 1 when given")
 
+    shard_variable: Optional[str] = None
+    shard_policy = "hash"
     if method == "auto":
         # Deferred import: repro.engine sits above this module.
-        from repro.engine.planner import choose_method
+        from repro.engine.planner import route
 
-        method = choose_method(db, query, ranking=ranking, k=k)
+        plan = route(
+            db, query, ranking=ranking, k=k, allow_middleware=False,
+            workers=workers,
+        )
+        method = plan.engine
+        # The router may veto sharding; when it shards, execute its
+        # exact decision (variable + policy), not a re-derivation.
+        workers = plan.workers
+        shard_variable = plan.shard_variable
+        shard_policy = plan.shard_policy
+
+    if workers is not None and workers > 1 and deterministic:
+        # Deferred import: repro.parallel sits above this module.
+        from repro.parallel import is_shardable, parallel_rank_enumerate
+
+        if is_shardable(query, ranking, method):
+            return parallel_rank_enumerate(
+                db,
+                query,
+                ranking=ranking,
+                method=method,
+                k=k,
+                counters=counters,
+                workers=workers,
+                shard_variable=shard_variable,
+                policy=shard_policy,
+            )
 
     if method == "batch":
+        # batch_enumerate already sorts by (weight, solution_tie_key),
+        # deterministic or not — sorting the full output is its nature.
         stream = batch_enumerate(db, query, ranking=ranking, counters=counters)
         return stream if k is None else itertools.islice(stream, k)
 
@@ -120,6 +173,8 @@ def rank_enumerate(
         stream = rank_enumerate_ghd(
             db, query, ranking, _enumerator_factory(method), counters=counters
         )
+    if deterministic:
+        stream = stabilize_ties(stream)
     return stream if k is None else itertools.islice(stream, k)
 
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Optional
 
-from repro.anyk.ranking import RankingFunction, SUM
+from repro.anyk.ranking import RankingFunction, SUM, solution_tie_key
 from repro.data.database import Database
 from repro.joins.generic_join import evaluate as generic_join
 from repro.joins.yannakakis import evaluate as yannakakis_join
@@ -44,7 +44,7 @@ def batch_enumerate(
     lift = ranking.lift
     ranked = sorted(
         ((lift(weight), row) for row, weight in zip(result.rows, result.weights)),
-        key=lambda pair: (pair[0], repr(pair[1])),
+        key=lambda pair: (pair[0], solution_tie_key(pair[1])),
     )
     if counters is not None:
         counters.comparisons += max(0, len(ranked) - 1)

@@ -20,13 +20,24 @@ float tuple weights into the dioid's carrier.  Provided instances:
 
 All carriers compare with ``<`` and support equality, which is all the
 enumeration machinery assumes.
+
+Deterministic tie-breaking
+--------------------------
+Equal-weight results are ordered by *tuple identity* — the total order
+:func:`solution_tie_key` puts on output rows — never by insertion order.
+Insertion order is an artifact of how an engine happened to discover a
+result (heap tick, bucket layout, shard assignment), so two executions
+over differently laid-out inputs would disagree on it; the row itself is
+a property of the *answer*.  :func:`stabilize_ties` enforces the order on
+any nondecreasing stream, and is what makes a hash-sharded parallel run
+(:mod:`repro.parallel`) byte-identical to a serial one.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterable, Iterator
 
 
 @dataclass(frozen=True)
@@ -128,3 +139,67 @@ FLOAT_RANKINGS = (SUM, MAX, PRODUCT)
 
 #: All provided rankings.
 ALL_RANKINGS = (SUM, MAX, PRODUCT, LEX)
+
+#: Name -> instance, the registry process-pool workers resolve against:
+#: a :class:`RankingFunction` holds lambdas and so cannot cross a pickle
+#: boundary — its *name* can (:mod:`repro.parallel.workers`).
+RANKINGS_BY_NAME: dict[str, RankingFunction] = {
+    ranking.name: ranking for ranking in ALL_RANKINGS
+}
+
+
+def ranking_by_name(name: str) -> RankingFunction:
+    """Resolve a provided ranking by its registry name."""
+    try:
+        return RANKINGS_BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown ranking {name!r}; known: {sorted(RANKINGS_BY_NAME)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Deterministic tie-breaking
+# ----------------------------------------------------------------------
+def solution_tie_key(row: tuple) -> tuple:
+    """A total order on output rows, independent of value types.
+
+    Each value is decorated with its class name so heterogeneous columns
+    (the hub-graph generators mix ``"b"``-style hub labels with integer
+    spokes) never hit an unorderable ``int < str`` comparison: values
+    order by type name first, then by value within one type.
+    """
+    return tuple((value.__class__.__name__, value) for value in row)
+
+
+def stabilize_ties(
+    stream: Iterable[tuple[tuple, Any]],
+    key: Callable[[tuple], Any] = solution_tie_key,
+) -> Iterator[tuple[tuple, Any]]:
+    """Re-emit a nondecreasing ranked stream with deterministic tie order.
+
+    Consecutive results of *equal* weight form a tie group; each group is
+    emitted sorted by ``key`` of the row.  Since the input stream is
+    nondecreasing, a group is complete as soon as a strictly heavier
+    result (or exhaustion) is seen, so the extra latency is one result of
+    lookahead and the extra memory one tie group — the anytime property
+    survives.  Weights are compared with ``==`` in the ranking carrier.
+    """
+    iterator = iter(stream)
+    head = next(iterator, None)
+    if head is None:
+        return
+    group = [head]
+    group_weight = head[1]
+    for item in iterator:
+        if item[1] == group_weight:
+            group.append(item)
+            continue
+        if len(group) > 1:
+            group.sort(key=lambda pair: key(pair[0]))
+        yield from group
+        group = [item]
+        group_weight = item[1]
+    if len(group) > 1:
+        group.sort(key=lambda pair: key(pair[0]))
+    yield from group

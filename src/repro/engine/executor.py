@@ -17,14 +17,12 @@ or the HRJN rank-join middleware).  Its own responsibilities:
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Iterable, Iterator, Optional, TYPE_CHECKING
 
 from repro.anyk.api import rank_enumerate
 from repro.data.database import Database
 from repro.query.cq import Atom, ConjunctiveQuery
 from repro.engine.planner import Plan
-from repro.topk.rank_join import rank_join_stream
 from repro.util.counters import Counters
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
@@ -125,19 +123,36 @@ def execute(
         working, cq = filtered_database(db, compiled)
     k = compiled.k
 
-    if plan.engine == "rank_join":
-        raw = rank_join_stream(
+    if plan.workers > 1:
+        # The router already vetted shardability and picked the shard
+        # attribute; honor its decision verbatim (covers the HRJN
+        # middleware too — workers run it per shard like any engine).
+        from repro.parallel import parallel_rank_enumerate
+
+        stream: Iterator[tuple[tuple, Any]] = parallel_rank_enumerate(
             working,
             cq,
+            ranking=compiled.ranking,
+            method=plan.engine,
+            k=k,
             counters=counters,
-            combine=compiled.ranking.float_combine(),
+            workers=plan.workers,
+            shard_variable=plan.shard_variable,
+            policy=plan.shard_policy,
         )
-        lift = compiled.ranking.lift
-        stream: Iterator[tuple[tuple, Any]] = (
-            (row, lift(weight)) for row, weight in raw
+    elif plan.engine == "rank_join":
+        # The same lift+stabilize+truncate adapter shard workers run,
+        # in-process (one definition, serial and parallel can't drift).
+        from repro.parallel.workers import shard_stream
+
+        stream = shard_stream(
+            working,
+            cq,
+            ranking=compiled.ranking,
+            method="rank_join",
+            k=k,
+            counters=counters,
         )
-        if k is not None:
-            stream = itertools.islice(stream, k)
     else:
         stream = rank_enumerate(
             working,

@@ -54,6 +54,13 @@ DEEP_K = 1000
 #: Fraction of the AGM bound beyond which batch's optimal time-to-last wins.
 BATCH_FRACTION = 0.5
 
+#: Total input tuples below which fork+pickle overhead eats any sharding
+#: win: a worker costs a process fork, a pickled shard payload, and IPC
+#: per result chunk — roughly the T-DP preprocessing of a few thousand
+#: tuples.  Below the floor the router runs serial even when workers are
+#: offered.
+PARALLEL_MIN_TUPLES = 4096
+
 
 @dataclass(frozen=True)
 class PlanEstimates:
@@ -93,6 +100,11 @@ class Plan:
     rationale: list[str] = field(default_factory=list)
     working_db: Optional[Database] = None
     working_cq: Optional[ConjunctiveQuery] = None
+    #: Partition-parallelism decision: 1 = serial; > 1 = hash/range-shard
+    #: on ``shard_variable`` and merge per-shard ranked streams.
+    workers: int = 1
+    shard_variable: Optional[str] = None
+    shard_policy: str = "hash"
 
     @property
     def is_anyk(self) -> bool:
@@ -121,6 +133,12 @@ class Plan:
                 + "free-connex"
             )
         lines.append(f"engine:   {self.engine}")
+        if self.workers > 1:
+            lines.append(
+                f"parallel: {self.workers} workers, {self.shard_policy}-"
+                f"sharded on {self.shard_variable} (ranked streams merged "
+                "with deterministic ties)"
+            )
         lines.append("because:")
         lines.extend(f"  - {reason}" for reason in self.rationale)
         return "\n".join(lines)
@@ -135,6 +153,8 @@ def route(
     allow_middleware: bool = True,
     engine: Optional[str] = None,
     stats: Optional[CatalogStats] = None,
+    workers: Optional[int] = None,
+    shard_policy: str = "hash",
 ) -> Plan:
     """Choose an engine for ``query`` over ``db``.
 
@@ -143,7 +163,12 @@ def route(
     ``engine`` forces the choice (recorded as an override in the
     rationale).  ``stats`` lets a caller with a
     :class:`~repro.engine.catalog.StatsCache` supply pre-gathered
-    statistics instead of re-scanning the catalog.
+    statistics instead of re-scanning the catalog.  ``workers`` offers a
+    process budget for partition-parallel execution; the router takes it
+    only when the chosen engine shards soundly *and* the input is big
+    enough to amortize fork+pickle overhead (see
+    :data:`PARALLEL_MIN_TUPLES`) — the outcome lands in ``plan.workers``
+    and the rationale either way.
     """
     query.validate(db)
     if stats is None:
@@ -177,9 +202,49 @@ def route(
     if engine is not None:
         plan.engine = engine
         plan.rationale.append(f"engine {engine!r} forced by the caller")
-        return plan
-    _decide(plan, allow_middleware=allow_middleware)
+    else:
+        _decide(plan, allow_middleware=allow_middleware)
+    _decide_parallelism(plan, workers, shard_policy)
     return plan
+
+
+def _decide_parallelism(
+    plan: Plan, workers: Optional[int], shard_policy: str
+) -> None:
+    """Take (or decline) an offered worker budget; record why."""
+    if workers is None or workers <= 1:
+        return  # nothing offered: serial silently
+    say = plan.rationale.append
+    from repro.parallel import is_shardable
+    from repro.parallel.sharding import choose_shard_variable
+
+    if not is_shardable(plan.query, plan.ranking, plan.engine):
+        say(
+            f"{workers} workers offered, running serial: engine "
+            f"{plan.engine!r} over this query/ranking cannot be sharded "
+            "soundly (needs an acyclic shape and a registered ranking)"
+        )
+        return
+    # Per-query input: sum of atom sizes (a self-joined relation feeds
+    # every one of its atoms, so it counts once per atom).
+    input_tuples = sum(atom.size for atom in plan.stats.atoms)
+    if input_tuples < PARALLEL_MIN_TUPLES:
+        say(
+            f"{workers} workers offered, running serial: "
+            f"{input_tuples} input tuples are below the "
+            f"{PARALLEL_MIN_TUPLES}-tuple floor where fork+pickle "
+            "overhead amortizes"
+        )
+        return
+    plan.workers = workers
+    plan.shard_variable = choose_shard_variable(plan.query)
+    plan.shard_policy = shard_policy
+    say(
+        f"sharding across {workers} workers on {plan.shard_variable} "
+        f"({shard_policy}): {input_tuples} input tuples amortize "
+        "process overhead, and the k-way merge preserves the exact "
+        "ranked order"
+    )
 
 
 def _decide(plan: Plan, allow_middleware: bool) -> None:
@@ -287,11 +352,14 @@ def plan_compiled(
     compiled: "CompiledQuery",
     engine: Optional[str] = None,
     stats_cache: Optional[StatsCache] = None,
+    workers: Optional[int] = None,
 ) -> Plan:
     """Route a SQL :class:`~repro.sql.analyzer.CompiledQuery`.
 
     ``stats_cache`` (the server's cached-stats catalog) short-cuts the
-    statistics scan over the filtered working instance.
+    statistics scan over the filtered working instance.  ``workers``
+    offers a partition-parallelism budget (``repro-serve --workers``),
+    subject to the same routing rules as :func:`route`.
     """
     from repro.engine.executor import filtered_database
 
@@ -314,6 +382,7 @@ def plan_compiled(
         ),
         engine=engine,
         stats=stats,
+        workers=workers,
     )
     plan.working_db = working_db
     plan.working_cq = working_cq

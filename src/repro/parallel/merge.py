@@ -1,0 +1,59 @@
+"""Lazy k-way merge of ranked (row, weight) streams.
+
+Each input stream must be nondecreasing in weight with equal-weight runs
+already in :func:`~repro.anyk.ranking.solution_tie_key` order (what
+:func:`~repro.anyk.ranking.stabilize_ties` guarantees, and what every
+shard stream is).  The merge holds one head element per live stream in a
+binary heap ordered by ``(weight, tie_key(row), stream_index)`` — the
+same total order a serial run emits, so merging the shards of a
+partitioned database reproduces the serial stream *byte-identically*:
+the answer sets are disjoint by the sharding argument, the weights agree
+because per-answer folds are computed by structurally identical join
+trees, and ties resolve by tuple identity on both sides.
+
+The merge is an ordinary generator: pulling one result pulls at most one
+replacement head from one input, so the anytime property (and server
+pagination through :class:`~repro.anyk.api.PausableStream`) composes
+through it unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.anyk.ranking import solution_tie_key
+
+
+def merge_ranked_streams(
+    streams: Iterable[Iterator[tuple[tuple, Any]]],
+    tie_key: Callable[[tuple], Any] = solution_tie_key,
+) -> Iterator[tuple[tuple, Any]]:
+    """Merge ranked streams into one globally ranked stream.
+
+    Yields ``(row, weight)`` in nondecreasing weight order with
+    deterministic ``tie_key`` tie-breaking.  The trailing stream index in
+    the heap entry is a formality: two *distinct* streams can tie on both
+    weight and row only when the same row occurs as a bag duplicate, and
+    then either emission order is the same stream of bytes — the index
+    just keeps the comparison from ever reaching non-comparable payload.
+    """
+    iterators = [iter(stream) for stream in streams]
+    heap: list[tuple[Any, Any, int, tuple]] = []
+    for index, iterator in enumerate(iterators):
+        head = next(iterator, None)
+        if head is not None:
+            row, weight = head
+            heap.append((weight, tie_key(row), index, row))
+    heapq.heapify(heap)
+    while heap:
+        weight, _, index, row = heap[0]
+        yield row, weight
+        head = next(iterators[index], None)
+        if head is None:
+            heapq.heappop(heap)
+        else:
+            next_row, next_weight = head
+            heapq.heapreplace(
+                heap, (next_weight, tie_key(next_row), index, next_row)
+            )

@@ -1,0 +1,323 @@
+"""Process-pool execution of per-shard any-k streams.
+
+One worker process per (non-empty) shard.  The parent pickles the shard
+payload — filtered database, rewritten query, ranking *name* (the
+instances hold lambdas and cannot cross the boundary), method, ``k`` —
+into a ``multiprocessing.Process``; the worker enumerates its shard's
+ranked stream and ships results back in chunks over a **bounded** queue.
+The bound is backpressure: a worker can run at most one queue of chunks
+ahead of the consumer, so stopping after the global top-k never pays for
+a shard's full output — the anytime property survives the pool.
+
+Failure handling: a worker that raises ships an ``("error", message)``
+frame; a worker that dies without one (OOM-kill, signal) is detected by
+liveness polling.  Both surface as :class:`ShardWorkerError` in the
+consuming thread.  Early termination (the consumer closes the merged
+generator, e.g. a server cursor being evicted) terminates the pool.
+
+RAM-model accounting: each worker counts into a private
+:class:`~repro.util.counters.Counters` and ships the snapshot in its
+final ``("done", snapshot)`` frame; the parent folds finished workers'
+snapshots into the caller's counters, so a drained parallel run reports
+the same kind of totals a serial run does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import multiprocessing
+import queue as queue_module
+import threading
+from typing import Any, Iterator, Optional
+
+from repro.anyk.ranking import (
+    RankingFunction,
+    SUM,
+    ranking_by_name,
+    stabilize_ties,
+)
+from repro.data.database import Database
+from repro.parallel.merge import merge_ranked_streams
+from repro.parallel.sharding import Shard, ShardingSpec, shard_database
+from repro.query.cq import ConjunctiveQuery
+from repro.util.counters import Counters
+
+#: Results per queue frame (amortizes pickling + IPC per result).
+DEFAULT_CHUNK_SIZE = 128
+
+#: Frames a worker may buffer ahead of the consumer (backpressure bound).
+QUEUE_DEPTH = 8
+
+#: Liveness-poll interval while waiting on an empty queue (seconds).
+_POLL_S = 0.05
+
+#: Counters dataclass fields a snapshot may carry (vs. ``extras`` keys).
+_COUNTER_FIELDS = {
+    f.name for f in dataclasses.fields(Counters) if f.name not in ("extras", "_lock")
+}
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker failed (raised, or died without reporting)."""
+
+
+_forkserver_lock = threading.Lock()
+_forkserver_context = None
+
+
+def _pool_context():
+    """The multiprocessing context to spawn shard workers from.
+
+    ``fork`` is the cheap default — but forking a *multithreaded*
+    process (the server regime: queries arrive on socketserver handler
+    threads) can deadlock the child on a lock another thread held at
+    fork time.  When other threads are live we switch to ``forkserver``:
+    its single-threaded server process was started before any of our
+    threads, so forks from it are safe.  This module is preloaded into
+    the forkserver so workers do not re-import the library per query.
+    On platforms whose default is already ``spawn`` (macOS, Windows)
+    the default context is used as-is — args are picklable and
+    :func:`_worker_main` is importable by design.
+
+    Caveat (standard multiprocessing contract): forkserver/spawn worker
+    bootstrap re-imports the caller's ``__main__``, so a *script* that
+    reaches these paths (threaded parent, or a spawn platform) must
+    guard its entry point with ``if __name__ == "__main__":`` — see
+    ``examples/parallel_topk.py``.  Plain single-threaded Linux use
+    keeps ``fork`` and has no such requirement.
+    """
+    if multiprocessing.get_start_method() != "fork":
+        return multiprocessing.get_context()
+    if threading.active_count() == 1:
+        return multiprocessing.get_context("fork")
+    global _forkserver_context
+    with _forkserver_lock:
+        if _forkserver_context is None:
+            context = multiprocessing.get_context("forkserver")
+            context.set_forkserver_preload(["repro.parallel.workers"])
+            _forkserver_context = context
+    return _forkserver_context
+
+
+def shard_stream(
+    db: Database,
+    query: ConjunctiveQuery,
+    ranking: RankingFunction = SUM,
+    method: str = "part:lazy",
+    k: Optional[int] = None,
+    counters: Optional[Counters] = None,
+) -> Iterator[tuple[tuple, Any]]:
+    """One shard's stabilized ranked stream (any engine, in-process).
+
+    The single enumeration entry point workers run.  Besides every
+    :func:`~repro.anyk.rank_enumerate` method it accepts ``"rank_join"``
+    (the HRJN middleware), lifting its raw weights into the ranking
+    carrier exactly as the SQL executor does — which is what lets the
+    differential harness drive all four engine families through one
+    sharded code path.
+    """
+    if method == "rank_join":
+        from repro.topk.rank_join import rank_join_stream
+
+        raw = rank_join_stream(
+            db, query, counters=counters, combine=ranking.float_combine()
+        )
+        lift = ranking.lift
+        stream = stabilize_ties((row, lift(weight)) for row, weight in raw)
+        return stream if k is None else itertools.islice(stream, k)
+    from repro.anyk.api import rank_enumerate
+
+    return rank_enumerate(
+        db, query, ranking=ranking, method=method, k=k, counters=counters
+    )
+
+
+def _worker_main(
+    out_queue,
+    db: Database,
+    query: ConjunctiveQuery,
+    ranking_name: str,
+    method: str,
+    k: Optional[int],
+    chunk_size: int,
+) -> None:
+    """Worker entry point (module-level so spawn contexts can import it)."""
+    counters = Counters()
+    try:
+        ranking = ranking_by_name(ranking_name)
+        stream = shard_stream(
+            db, query, ranking=ranking, method=method, k=k, counters=counters
+        )
+        chunk: list[tuple[tuple, Any]] = []
+        for item in stream:
+            chunk.append(item)
+            if len(chunk) >= chunk_size:
+                out_queue.put(("rows", chunk))
+                chunk = []
+        if chunk:
+            out_queue.put(("rows", chunk))
+        out_queue.put(("done", counters.snapshot()))
+    except BaseException as exc:  # ship the failure; never hang the parent
+        try:
+            out_queue.put(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+
+
+def _merge_snapshot(counters: Counters, snapshot: dict) -> None:
+    """Fold a worker's counter snapshot into the caller's instance."""
+    for name, value in snapshot.items():
+        if name == "total_work" or not value:
+            continue
+        if name in _COUNTER_FIELDS:
+            counters.add(name, value)
+        else:
+            counters.bump(name, value)
+
+
+class _ShardFeed:
+    """Parent-side lazy iterator over one worker's chunked result queue."""
+
+    def __init__(
+        self,
+        context,
+        shard: Shard,
+        ranking_name: str,
+        method: str,
+        k: Optional[int],
+        chunk_size: int,
+        counters: Optional[Counters],
+    ) -> None:
+        self._queue = context.Queue(maxsize=QUEUE_DEPTH)
+        self._process = context.Process(
+            target=_worker_main,
+            args=(
+                self._queue,
+                shard.database,
+                shard.query,
+                ranking_name,
+                method,
+                k,
+                chunk_size,
+            ),
+            daemon=True,
+        )
+        self._shard_index = shard.index
+        self._counters = counters
+        self._finished = False
+
+    def start(self) -> None:
+        self._process.start()
+
+    def __iter__(self) -> Iterator[tuple[tuple, Any]]:
+        while True:
+            try:
+                kind, payload = self._queue.get(timeout=_POLL_S)
+            except queue_module.Empty:
+                if self._process.is_alive():
+                    continue
+                # The worker exited; drain anything it flushed first (a
+                # short timeout covers frames still in the pipe).
+                try:
+                    kind, payload = self._queue.get(timeout=0.5)
+                except queue_module.Empty:
+                    raise ShardWorkerError(
+                        f"shard {self._shard_index} worker died without "
+                        "reporting (exit code "
+                        f"{self._process.exitcode})"
+                    ) from None
+            if kind == "rows":
+                yield from payload
+            elif kind == "done":
+                self._finished = True
+                if self._counters is not None:
+                    _merge_snapshot(self._counters, payload)
+                self._process.join()
+                return
+            else:  # "error"
+                raise ShardWorkerError(
+                    f"shard {self._shard_index} worker failed: {payload}"
+                )
+
+    def shutdown(self) -> None:
+        """Stop the worker (idempotent; used for early termination too).
+
+        Before terminating, opportunistically drain queued frames for a
+        ``("done", snapshot)``: a worker whose whole output fit in the
+        queue has already finished, and its RAM-model work should land
+        in the caller's counters even when the consumer stopped early.
+        Workers still mid-enumeration lose their counts — the price of
+        termination, not worth a handshake.
+        """
+        if not self._finished:
+            try:
+                while True:
+                    kind, payload = self._queue.get_nowait()
+                    if kind == "done":
+                        self._finished = True
+                        if self._counters is not None:
+                            _merge_snapshot(self._counters, payload)
+                        break
+            except queue_module.Empty:
+                pass
+        if self._process.pid is not None and self._process.is_alive():
+            self._process.terminate()
+        if self._process.pid is not None:
+            self._process.join(timeout=2.0)
+        self._queue.close()
+
+
+def parallel_rank_enumerate(
+    db: Database,
+    query: ConjunctiveQuery,
+    ranking: RankingFunction = SUM,
+    method: str = "part:lazy",
+    k: Optional[int] = None,
+    counters: Optional[Counters] = None,
+    workers: int = 2,
+    shard_variable: Optional[str] = None,
+    policy: str = "hash",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[tuple[tuple, Any]]:
+    """Shard, enumerate per shard in worker processes, merge ranked.
+
+    Yields ``(row, weight)`` byte-identically to the serial
+    :func:`~repro.anyk.rank_enumerate` stream for the same arguments
+    (see :mod:`repro.parallel.merge` for the argument).  ``k`` is pushed
+    down to every worker — the global top-k draws at most k results from
+    any one shard — and also truncates the merged stream.
+
+    The returned generator owns the pool: exhausting it joins the
+    workers, closing it early (``generator.close()``, which is what
+    :meth:`PausableStream.close` triggers on cursor eviction) terminates
+    them.  Shards whose filtered instance is trivially empty never spawn
+    a process.
+    """
+    shards, spec = shard_database(
+        db, query, workers, variable=shard_variable, policy=policy
+    )
+    live = [shard for shard in shards if not shard.is_trivially_empty()]
+    context = _pool_context()
+    feeds = [
+        _ShardFeed(
+            context, shard, ranking.name, method, k, chunk_size, counters
+        )
+        for shard in live
+    ]
+
+    def merged() -> Iterator[tuple[tuple, Any]]:
+        try:
+            # Inside the try: a failure starting the Nth worker (process
+            # limit, EAGAIN) must still shut the N-1 started ones down.
+            for feed in feeds:
+                feed.start()
+            stream = merge_ranked_streams(feeds)
+            if k is not None:
+                stream = itertools.islice(stream, k)
+            yield from stream
+        finally:
+            for feed in feeds:
+                feed.shutdown()
+
+    return merged()

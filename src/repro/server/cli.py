@@ -125,6 +125,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=100,
         help="default rows per fetch when a request does not say",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="partition-parallelism budget per query: shard the database "
+        "across this many worker processes when the router judges it "
+        "worthwhile (default 1 = serial)",
+    )
     return parser
 
 
@@ -151,6 +159,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_cursors=args.max_cursors,
         plan_cache_size=args.plan_cache,
         default_batch=args.batch,
+        workers=args.workers,
     )
     names = ", ".join(
         f"{name}({len(db[name])})" for name in db.names()

@@ -63,10 +63,14 @@ class PlanCache:
 
     @staticmethod
     def key(
-        normalized_sql: str, engine: Optional[str], fingerprint: tuple
+        normalized_sql: str,
+        engine: Optional[str],
+        fingerprint: tuple,
+        workers: int = 1,
     ) -> tuple:
-        """The full cache key (engine overrides route differently)."""
-        return (normalized_sql, engine, fingerprint)
+        """The full cache key (engine overrides and the parallelism
+        budget both route differently)."""
+        return (normalized_sql, engine, fingerprint, workers)
 
     def lookup(self, key: tuple) -> Optional[CachedPlan]:
         entry = self._lru.get(key)

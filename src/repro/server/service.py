@@ -55,6 +55,11 @@ class QueryService:
     idle_evict_s:
         Idle age beyond which a cursor may be evicted under admission
         pressure (None: never evict, reject instead).
+    workers:
+        Partition-parallelism budget offered to the router per query
+        (``repro-serve --workers``).  The router still declines sharding
+        for small inputs and unshardable shapes; cursors over merged
+        parallel streams pause/resume/evict exactly like serial ones.
     """
 
     def __init__(
@@ -65,8 +70,10 @@ class QueryService:
         stats_cache_size: int = 1024,
         default_batch: int = 100,
         idle_evict_s: Optional[float] = 600.0,
+        workers: int = 1,
     ) -> None:
         self.db = db
+        self.workers = workers
         self.plan_cache = PlanCache(plan_cache_size)
         self.stats_cache = StatsCache(stats_cache_size)
         self.cursors = CursorManager(
@@ -99,13 +106,17 @@ class QueryService:
         _check_engine(engine)
         normalized, statement = normalize_sql(sql)
         fingerprint = database_fingerprint(self.db)
-        key = PlanCache.key(normalized, engine, fingerprint)
+        key = PlanCache.key(normalized, engine, fingerprint, self.workers)
         entry = self.plan_cache.lookup(key)
         if entry is not None:
             return entry, True
         compiled = analyze_statement(self.db, sql, statement)
         routed = plan_compiled(
-            self.db, compiled, engine=engine, stats_cache=self.stats_cache
+            self.db,
+            compiled,
+            engine=engine,
+            stats_cache=self.stats_cache,
+            workers=self.workers,
         )
         entry = CachedPlan(compiled, routed)
         self.plan_cache.store(key, entry)
@@ -251,6 +262,7 @@ class QueryService:
             "uptime_s": round(time.monotonic() - self._started, 3),
             "relations": self.db.names(),
             "total_tuples": self.db.total_tuples(),
+            "workers": self.workers,
             **metrics,
             "plan_cache": self.plan_cache.info(),
             "stats_cache": self.stats_cache.info(),

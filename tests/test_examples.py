@@ -53,6 +53,14 @@ def test_anyk_showcase_runs():
 
 
 @pytest.mark.slow
+def test_parallel_topk_runs():
+    out = _run("parallel_topk.py")
+    assert "2-shard merged prefix == serial prefix: True" in out
+    assert "parallel: 2 workers" in out
+    assert "byte-identical" in out
+
+
+@pytest.mark.slow
 def test_serve_client_runs():
     out = _run("serve_client.py")
     assert "identical to one uninterrupted run: True" in out

@@ -83,3 +83,69 @@ def test_float_rankings_listed():
 
 def test_repr_contains_name():
     assert "sum" in repr(SUM)
+
+
+# ----------------------------------------------------------------------
+# Deterministic tie-breaking (tuple identity, never insertion order)
+# ----------------------------------------------------------------------
+def test_ranking_registry_round_trip():
+    from repro.anyk.ranking import RANKINGS_BY_NAME, ranking_by_name
+
+    for ranking in ALL_RANKINGS:
+        assert ranking_by_name(ranking.name) is ranking
+    assert set(RANKINGS_BY_NAME) == {r.name for r in ALL_RANKINGS}
+    with pytest.raises(ValueError):
+        ranking_by_name("nope")
+
+
+def test_solution_tie_key_orders_mixed_types():
+    from repro.anyk.ranking import solution_tie_key
+
+    rows = [(1, "b"), ("a", 2), (1, "a"), (0, "z")]
+    ordered = sorted(rows, key=solution_tie_key)
+    # Total order, deterministic, no int<str TypeError.
+    assert ordered == sorted(ordered, key=solution_tie_key)
+    assert ordered[0] == (0, "z")  # ints before strs, then by value
+
+
+def test_stabilize_ties_sorts_equal_weight_groups():
+    from repro.anyk.ranking import stabilize_ties
+
+    stream = [((2,), 0.5), ((9, 1), 1.0), ((1, 2), 1.0), ((1, 1), 1.0), ((3,), 2.0)]
+    out = list(stabilize_ties(stream))
+    assert out == [
+        ((2,), 0.5),
+        ((1, 1), 1.0),
+        ((1, 2), 1.0),
+        ((9, 1), 1.0),
+        ((3,), 2.0),
+    ]
+    assert list(stabilize_ties([])) == []
+
+
+def test_all_equal_weights_enumerate_in_row_order():
+    """Regression: with every weight equal, the whole output is one tie
+    group and must come out ordered by tuple identity — for every engine,
+    so shard merges (and cross-engine diffs) are deterministic."""
+    from repro.anyk.api import rank_enumerate
+    from repro.data.database import Database
+    from repro.data.relation import Relation
+    from repro.query.cq import path_query
+
+    rows1 = [(i, j) for i in range(3) for j in range(3)]
+    rows2 = [(j, m) for j in range(3) for m in range(3)]
+    db = Database(
+        [
+            Relation("R1", ("A1", "A2"), rows1, [1.0] * len(rows1)),
+            Relation("R2", ("A2", "A3"), rows2, [1.0] * len(rows2)),
+        ]
+    )
+    query = path_query(2)
+    expected = None
+    for method in ("part:lazy", "part:eager", "part:all", "rec", "batch"):
+        got = list(rank_enumerate(db, query, method=method))
+        assert got == sorted(got, key=lambda pair: pair[0])
+        if expected is None:
+            expected = got
+        else:
+            assert got == expected, method
