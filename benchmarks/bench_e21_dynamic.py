@@ -1,0 +1,166 @@
+"""E21 — dynamic data: snapshot isolation and mutation-aware caching.
+
+Two series, both with asserted acceptance criteria:
+
+1. **Snapshot-isolated cursors** — open a server cursor, commit a batch
+   of inserts+deletes mid-drain, finish draining: the drained stream
+   must equal the pre-mutation serial stream *exactly* (asserted per
+   engine), while a fresh post-mutation query sees the new data.
+2. **Mutation-aware cache stack** — after a mutation, statements reading
+   the mutated relation re-plan (cache miss, re-cost) while statements
+   over unaffected relations reuse their warm plans (asserted both
+   ways), with warm-vs-cold planning latency reported.
+
+Run:  pytest benchmarks/bench_e21_dynamic.py -o python_functions='bench_*' -q -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro.sql
+from repro.data.generators import path_database
+from repro.server.service import QueryService
+
+from common import print_table
+
+SQL_AFFECTED = (
+    "SELECT * FROM R1 JOIN R2 ON R1.A2 = R2.A2 ORDER BY weight LIMIT {k}"
+)
+SQL_UNAFFECTED = (
+    "SELECT * FROM R3 JOIN R4 ON R3.A4 = R4.A4 ORDER BY weight LIMIT {k}"
+)
+K = 150
+ENGINES = ("part:lazy", "rec", "batch", "rank_join")
+
+
+def _dynamic_db():
+    # R1..R4: two independent binary joins over one generated chain, so
+    # one statement reads mutated relations and one reads untouched ones.
+    return path_database(length=4, size=1200, domain=90, seed=21)
+
+
+def _mutate_batch(service: QueryService) -> int:
+    values = ", ".join(f"({i}, {i % 13}, 0.001)" for i in range(3000, 3100))
+    for sql in (
+        f"INSERT INTO R1 (A1, A2, weight) VALUES {values}",
+        "DELETE FROM R2 WHERE A2 < 30",
+        "INSERT INTO R2 VALUES (7, 700), (8, 800)",
+    ):
+        service.mutate(sql)
+    return service.versioned.version
+
+
+def _isolation_series() -> list:
+    rows = []
+    sql = SQL_AFFECTED.format(k=K)
+    for engine in ENGINES:
+        service = QueryService(_dynamic_db())
+        pre_mutation = service.db.copy()
+        opened = service.query(sql, engine=engine, fetch=25)
+        drained = [(tuple(r), w) for r, w in opened["rows"]]
+        start = time.perf_counter()
+        version = _mutate_batch(service)
+        mutate_ms = 1e3 * (time.perf_counter() - start)
+        cursor, done = opened["cursor"], opened["done"]
+        while not done:
+            page = service.fetch(cursor, n=50)
+            drained.extend((tuple(r), w) for r, w in page["rows"])
+            done = page["done"]
+        reference = repro.sql.query(pre_mutation, sql, engine=engine).fetchall()
+        assert drained == reference, (
+            f"{engine}: cursor drained {len(drained)} rows that differ from "
+            "the pre-mutation serial stream — snapshot isolation is broken"
+        )
+        post = [
+            (tuple(r), w)
+            for r, w in service.query(sql, engine=engine, fetch=K)["rows"]
+        ]
+        assert post != drained, (
+            f"{engine}: the mutation batch did not change the join result; "
+            "the isolation assertion proved nothing"
+        )
+        rows.append((engine, len(drained), version, mutate_ms, "exact"))
+    return rows
+
+
+def _cache_series() -> tuple[list, QueryService]:
+    service = QueryService(_dynamic_db())
+    affected = SQL_AFFECTED.format(k=K)
+    unaffected = SQL_UNAFFECTED.format(k=K)
+
+    def timed_plan(sql: str) -> tuple[float, bool]:
+        start = time.perf_counter()
+        _, was_cached = service.plan(sql)
+        return 1e3 * (time.perf_counter() - start), was_cached
+
+    cold_a, cached = timed_plan(affected)
+    assert not cached
+    cold_u, cached = timed_plan(unaffected)
+    assert not cached
+    warm_a, cached = timed_plan(affected)
+    assert cached
+    warm_u, cached = timed_plan(unaffected)
+    assert cached
+
+    service.mutate("INSERT INTO R1 VALUES (5000, 5000)")
+
+    recost_a, cached = timed_plan(affected)
+    # The mutated relation's new version must force a re-plan ...
+    assert not cached, "stale plan served for a statement over mutated data"
+    reuse_u, cached = timed_plan(unaffected)
+    # ... while untouched relations keep their warm plan (the claim the
+    # per-relation fingerprints exist for).
+    assert cached, "mutation of R1 needlessly evicted the R3⋈R4 plan"
+
+    rows = [
+        ("affected stmt, cold", cold_a, "miss"),
+        ("unaffected stmt, cold", cold_u, "miss"),
+        ("affected stmt, warm", warm_a, "hit"),
+        ("unaffected stmt, warm", warm_u, "hit"),
+        ("affected stmt, after mutation", recost_a, "miss (re-costed)"),
+        ("unaffected stmt, after mutation", reuse_u, "hit (kept warm)"),
+    ]
+    return rows, service
+
+
+def bench_e21_dynamic(benchmark):
+    print_table(
+        "E21a: snapshot-isolated cursors under a mutation batch "
+        f"(top-{K}, drained == pre-mutation serial stream)",
+        ["engine", "rows", "version", "mutate ms", "vs serial"],
+        _isolation_series(),
+    )
+
+    cache_rows, service = _cache_series()
+    print_table(
+        "E21b: mutation-aware plan cache (ms per plan)",
+        ["path", "ms", "cache"],
+        cache_rows,
+    )
+    info = service.plan_cache.info()
+    print(
+        f"plan cache: {info['hits']} hits / {info['misses']} misses; "
+        f"stats cache: {service.stats_cache.info()['hits']} hits / "
+        f"{service.stats_cache.info()['misses']} misses; "
+        f"database at version {service.versioned.version}"
+    )
+
+    # One representative timed region: commit a 100-row insert and
+    # re-plan the affected statement (the full invalidation round trip).
+    counter = iter(range(10**9))
+
+    def mutate_and_replan():
+        shift = 10_000 + next(counter) * 200
+        values = ", ".join(
+            f"({i}, {i % 17}, 0.5)" for i in range(shift, shift + 100)
+        )
+        service.mutate(f"INSERT INTO R1 (A1, A2, weight) VALUES {values}")
+        _, was_cached = service.plan(SQL_AFFECTED.format(k=K))
+        assert not was_cached
+
+    benchmark(mutate_and_replan)
+
+
+if __name__ == "__main__":  # direct run: no pytest-benchmark needed
+    bench_e21_dynamic(lambda f: f())

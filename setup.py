@@ -5,12 +5,12 @@ with open("README.md", encoding="utf-8") as handle:
 
 setup(
     name="repro-anyk",
-    version="1.3.0",
+    version="1.4.0",
     description=(
         "Optimal joins meet top-k: ranked (any-k) enumeration for "
         "conjunctive queries, with a SQL front-end, cost-based engine "
         "router, partition-parallel sharded execution, and a concurrent "
-        "query server with resumable cursors (reproduction of Tziavelis, "
+        "query server with resumable snapshot-isolated cursors over versioned dynamic data (reproduction of Tziavelis, "
         "Gatterbauer, Riedewald, SIGMOD 2020)"
     ),
     long_description=LONG_DESCRIPTION,

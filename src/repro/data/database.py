@@ -19,6 +19,11 @@ class Database:
 
     def __init__(self, relations: Optional[Iterable[Relation]] = None) -> None:
         self._relations: dict[str, Relation] = {}
+        #: Snapshot version stamped by :class:`repro.dynamic.VersionedDatabase`
+        #: when this instance is one of its published snapshots; None for
+        #: plain (unversioned) databases.  ``explain()`` reports it so a
+        #: plan can be traced to the exact data generation it was costed on.
+        self.version: Optional[int] = None
         for relation in relations or ():
             self.add(relation)
 
@@ -70,4 +75,6 @@ class Database:
 
     def copy(self) -> "Database":
         """Deep-enough copy: relations are copied, rows shared (immutable)."""
-        return Database(relation.copy() for relation in self)
+        out = Database(relation.copy() for relation in self)
+        out.version = self.version
+        return out

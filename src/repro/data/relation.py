@@ -39,7 +39,7 @@ class Relation:
         every row, which makes unweighted (pure join) use transparent.
     """
 
-    __slots__ = ("name", "schema", "rows", "weights", "_indexes")
+    __slots__ = ("name", "schema", "rows", "weights", "version", "_indexes")
 
     def __init__(
         self,
@@ -57,6 +57,13 @@ class Relation:
         self.schema = schema
         self.rows: list[tuple] = []
         self.weights: list[float] = []
+        #: Version annotation stamped by :mod:`repro.dynamic` when a
+        #: mutation publishes a new copy-on-write generation of this
+        #: relation.  0 means "static" (never mutated through the
+        #: versioned layer); the engine catalog's fingerprints include it
+        #: so equal-cardinality states with different contents (delete one
+        #: row, insert another) never collide in plan/stats caches.
+        self.version: int = 0
         self._indexes: dict[tuple[str, ...], dict] = {}
         if rows is not None:
             weight_list = list(weights) if weights is not None else None
@@ -210,6 +217,7 @@ class Relation:
         out = Relation(name or self.name, self.schema)
         out.rows = list(self.rows)
         out.weights = list(self.weights)
+        out.version = self.version
         return out
 
     def sorted_by_weight(self) -> "Relation":

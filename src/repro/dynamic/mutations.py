@@ -1,0 +1,95 @@
+"""Mutation descriptions: the write half of the dynamic-data layer.
+
+A mutation names one relation and either appends rows (:class:`Insert`)
+or removes the rows matching a predicate (:class:`Delete`).  Mutations
+are plain immutable descriptions — applying one is the job of
+:class:`~repro.dynamic.versioned.VersionedDatabase`, which turns it into
+a new copy-on-write snapshot and a fresh version id.  Keeping the
+description separate from the application is what lets the SQL analyzer
+compile ``INSERT``/``DELETE`` statements down to the same objects the
+programmatic API uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Optional, Sequence, Union
+
+
+class MutationError(ValueError):
+    """A mutation that cannot be applied (unknown relation, bad arity,
+    non-finite weight, ...).  Always carries a clean human message — the
+    server maps it onto the ``sql_error`` protocol code, never onto an
+    internal traceback."""
+
+
+@dataclass(frozen=True)
+class Insert:
+    """Append ``rows`` (with parallel ``weights``) to ``relation``."""
+
+    relation: str
+    rows: tuple[tuple, ...]
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.rows) != len(self.weights):
+            raise MutationError(
+                f"insert into {self.relation!r}: {len(self.rows)} rows but "
+                f"{len(self.weights)} weights"
+            )
+
+    def __str__(self) -> str:
+        return f"INSERT {len(self.rows)} row(s) INTO {self.relation}"
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Remove every row of ``relation`` matching ``predicate``.
+
+    ``predicate`` takes a raw row tuple; ``description`` is the
+    human-readable condition (shown in logs and results).  A ``None``
+    predicate deletes every row (SQL's ``DELETE FROM r`` without WHERE).
+    """
+
+    relation: str
+    predicate: Optional[Callable[[tuple], bool]] = None
+    description: str = ""
+
+    def __str__(self) -> str:
+        where = f" WHERE {self.description}" if self.description else ""
+        return f"DELETE FROM {self.relation}{where}"
+
+
+Mutation = Union[Insert, Delete]
+
+
+def insert(
+    relation: str,
+    rows: Iterable[Sequence[Any]],
+    weights: Optional[Iterable[float]] = None,
+) -> Insert:
+    """Convenience factory: default every weight to 0.0 when omitted."""
+    row_tuples = tuple(tuple(row) for row in rows)
+    if weights is None:
+        weight_tuple = (0.0,) * len(row_tuples)
+    else:
+        weight_tuple = tuple(float(w) for w in weights)
+    return Insert(relation, row_tuples, weight_tuple)
+
+
+@dataclass(frozen=True)
+class MutationResult:
+    """What a committed mutation did: kind, target, row count, and the
+    snapshot version it published."""
+
+    kind: str  # "insert" | "delete"
+    relation: str
+    rows: int
+    version: int
+
+    def __str__(self) -> str:
+        verb = "inserted into" if self.kind == "insert" else "deleted from"
+        return (
+            f"{self.rows} row(s) {verb} {self.relation} "
+            f"(now at version {self.version})"
+        )

@@ -26,7 +26,47 @@ from repro.engine.planner import Plan
 from repro.util.counters import Counters
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
-    from repro.sql.analyzer import CompiledQuery
+    from repro.dynamic import MutationResult, VersionedDatabase
+    from repro.sql.analyzer import CompiledMutation, CompiledQuery
+
+
+def apply_mutation(
+    versioned: "VersionedDatabase", compiled: "CompiledMutation"
+) -> "MutationResult":
+    """Commit a compiled SQL mutation against a versioned database.
+
+    The write-side counterpart of :func:`execute`: lowers the analyzer's
+    :class:`~repro.sql.analyzer.CompiledMutation` onto the dynamic
+    layer's :class:`~repro.dynamic.Insert`/:class:`~repro.dynamic.Delete`
+    and applies it, publishing a new copy-on-write snapshot.  Open
+    cursors keep draining the snapshot they were planned on; the new
+    version id makes stale plan/stats cache entries miss.
+    """
+    from repro.dynamic import Delete, Insert
+
+    if compiled.kind == "insert":
+        return versioned.apply(
+            Insert(compiled.relation, compiled.rows, compiled.weights)
+        )
+    relation = versioned.snapshot()[compiled.relation]
+    if not compiled.filters:
+        predicate = None
+    else:
+        tests = [
+            (f.predicate(relation.positions((f.column,))[0]))
+            for f in compiled.filters
+        ]
+
+        def predicate(row: tuple, _tests=tuple(tests)) -> bool:
+            return all(test(row) for test in _tests)
+
+    return versioned.apply(
+        Delete(
+            compiled.relation,
+            predicate,
+            description=" AND ".join(str(f) for f in compiled.filters),
+        )
+    )
 
 
 def negated_database(
@@ -82,12 +122,17 @@ def filtered_database(
                 position = relation.positions((f.column,))[0]
                 selected = selected.select(f.predicate(position), name=name)
             selected.name = name
+            # The filtered copy inherits its base's snapshot generation so
+            # cached statistics over it invalidate exactly when the base
+            # relation is mutated.
+            selected.version = relation.version
             working.replace(selected)
             atoms.append(Atom(name, atom.variables))
         else:
             if atom.relation not in working:
                 working.add(db[atom.relation])
             atoms.append(atom)
+    working.version = db.version
     if compiled.descending and negate:
         working = negated_database(working, only={a.relation for a in atoms})
     rewritten = (

@@ -105,6 +105,10 @@ class Plan:
     workers: int = 1
     shard_variable: Optional[str] = None
     shard_policy: str = "hash"
+    #: Version id of the snapshot this plan was costed on (None for
+    #: plain, unversioned databases).  A mutation publishes a higher
+    #: version, so any plan reporting an older one is known-stale.
+    snapshot_version: Optional[int] = None
 
     @property
     def is_anyk(self) -> bool:
@@ -126,6 +130,10 @@ class Plan:
             f"ranking:  {self.ranking.name}",
             f"k:        {self.k if self.k is not None else 'unbounded (no LIMIT)'}",
         ]
+        if self.snapshot_version is not None:
+            lines.insert(
+                1, f"snapshot: version {self.snapshot_version}"
+            )
         if self.estimates.free_connex is not None:
             lines.append(
                 "free:     projection is "
@@ -386,6 +394,9 @@ def plan_compiled(
     )
     plan.working_db = working_db
     plan.working_cq = working_cq
+    # Versioned snapshots stamp their Database; recording it lets EXPLAIN
+    # say exactly which data generation the costing read.
+    plan.snapshot_version = db.version
     # Combinations that would die with a bare TypeError mid-stream
     # (RankingFunction.float_combine on a non-float carrier) are rejected
     # here with a proper SQL diagnostic instead: cyclic rewrites, batch,

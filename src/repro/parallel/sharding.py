@@ -231,6 +231,11 @@ def shard_database(
         relation = db[atom.relation]
         name = f"{atom.relation}__p{atom_index}"
         buckets = [Relation(name, relation.schema) for _ in range(shards)]
+        for bucket in buckets:
+            # Buckets inherit the base relation's snapshot generation:
+            # the shard payload a worker pickles is pinned to the exact
+            # versions the plan was costed on.
+            bucket.version = relation.version
         for row, weight in zip(relation.rows, relation.weights):
             bucket = buckets[assign(row[column])]
             bucket.rows.append(row)
@@ -240,6 +245,7 @@ def shard_database(
     out: list[Shard] = []
     for shard_index in range(shards):
         shard_db = Database()
+        shard_db.version = db.version
         atoms: list[Atom] = []
         for atom_index, atom in enumerate(query.atoms):
             if filter_columns[atom_index] is None:

@@ -293,6 +293,13 @@ def parallel_rank_enumerate(
     :meth:`PausableStream.close` triggers on cursor eviction) terminates
     them.  Shards whose filtered instance is trivially empty never spawn
     a process.
+
+    Snapshot pinning: the shard payloads are materialized *here*, before
+    the lazy generator is returned — each worker pickles the shard built
+    from the database object passed in (version-stamped when it is a
+    :mod:`repro.dynamic` snapshot), so mutations committed after this
+    call can never leak into a draining parallel stream, even when the
+    workers have not started yet.
     """
     shards, spec = shard_database(
         db, query, workers, variable=shard_variable, policy=policy

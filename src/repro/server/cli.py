@@ -133,6 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
         "across this many worker processes when the router judges it "
         "worthwhile (default 1 = serial)",
     )
+    parser.add_argument(
+        "--readonly",
+        action="store_true",
+        help="refuse 'mutate' requests (INSERT/DELETE) with a clean "
+        "sql_error instead of committing new snapshots",
+    )
     return parser
 
 
@@ -150,16 +156,20 @@ def load_database(args: argparse.Namespace) -> Database:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     db = load_database(args)
+    from repro.dynamic import VersionedDatabase
     from repro.server.tcp import AnykTCPServer
 
     server = AnykTCPServer(
-        db,
+        # Ownership handover: the CLI never touches db again, so skip the
+        # isolation copy a library caller would get by default.
+        VersionedDatabase(db, copy=False),
         host=args.host,
         port=args.port,
         max_cursors=args.max_cursors,
         plan_cache_size=args.plan_cache,
         default_batch=args.batch,
         workers=args.workers,
+        readonly=args.readonly,
     )
     names = ", ".join(
         f"{name}({len(db[name])})" for name in db.names()

@@ -118,6 +118,18 @@ class Client:
         """The server's routed plan for ``sql``, as text."""
         return self.call("explain", sql=sql, engine=engine)["explain"]
 
+    def mutate(self, sql: str) -> dict:
+        """Commit one ``INSERT INTO`` / ``DELETE FROM`` statement.
+
+        Returns ``{"applied", "relation", "rows", "version"}`` — the new
+        snapshot version the mutation published.  Cursors opened before
+        the call keep streaming their own snapshot, untouched.
+        """
+        response = self.call("mutate", sql=sql)
+        return {
+            k: v for k, v in response.items() if k not in ("id", "ok")
+        }
+
     def stats(self) -> dict:
         """Server stats: caches, cursors, metrics, RAM-model counters."""
         response = self.call("stats")

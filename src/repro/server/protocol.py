@@ -4,8 +4,8 @@ One request per line, one response per line, both UTF-8 JSON objects —
 the simplest framing that composes with ``nc``, log files, and every
 language's standard library.  All requests share the envelope::
 
-    {"id": <any>, "op": "query" | "fetch" | "explain" | "close" | "stats",
-     ...op fields..., "deadline_ms": <optional int>}
+    {"id": <any>, "op": "query" | "fetch" | "explain" | "mutate" | "close"
+     | "stats", ...op fields..., "deadline_ms": <optional int>}
 
 and all responses echo the id::
 
@@ -21,6 +21,11 @@ Op fields (see :class:`repro.server.service.QueryService` for semantics):
     ``cursor`` (required), ``n`` (optional int, default server batch).
 ``explain``
     ``sql`` (required), ``engine`` (optional).
+``mutate``
+    ``sql`` (required): one ``INSERT INTO`` / ``DELETE FROM`` statement.
+    Commits a new copy-on-write snapshot; open cursors keep draining the
+    snapshot they were planned on.  Responds with ``applied``,
+    ``relation``, ``rows``, and the new ``version``.
 ``close``
     ``cursor`` (required).
 ``stats``
@@ -49,6 +54,7 @@ OPS: dict[str, tuple[str, ...]] = {
     "query": ("sql",),
     "fetch": ("cursor",),
     "explain": ("sql",),
+    "mutate": ("sql",),
     "close": ("cursor",),
     "stats": (),
 }
@@ -105,7 +111,9 @@ def validate_request(request: dict) -> str:
     for name in OPS[op]:
         if name not in request:
             raise ProtocolError(f"op {op!r} requires a {name!r} field")
-    if op in ("query", "explain") and not isinstance(request["sql"], str):
+    if op in ("query", "explain", "mutate") and not isinstance(
+        request["sql"], str
+    ):
         raise ProtocolError("'sql' must be a string")
     if op in ("fetch", "close") and not isinstance(request["cursor"], str):
         raise ProtocolError("'cursor' must be a string (a cursor id)")

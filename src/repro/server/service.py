@@ -18,8 +18,9 @@ from typing import Any, Optional
 
 from repro.anyk.api import PausableStream, StreamClosed
 from repro.data.database import Database
+from repro.dynamic import MutationError, VersionedDatabase
 from repro.engine.catalog import StatsCache, database_fingerprint
-from repro.engine.executor import execute
+from repro.engine.executor import apply_mutation, execute
 from repro.engine.planner import plan_compiled
 from repro.query.cq import QueryError
 # Submodule-style import: safe under the package's partially-initialized
@@ -33,19 +34,25 @@ from repro.server.cursors import (
 )
 from repro.server.plancache import CachedPlan, PlanCache, normalize_sql
 from repro.sql import _check_engine
-from repro.sql.analyzer import analyze_statement
+from repro.sql.analyzer import analyze_mutation, analyze_statement
 from repro.sql.errors import SqlError
 from repro.util.counters import Counters
 
 
 class QueryService:
-    """Stateful any-k query service over one (immutable) database.
+    """Stateful any-k query service over one versioned database.
 
     Parameters
     ----------
     db:
-        The catalog to serve.  Relations are treated as immutable for the
-        server's lifetime (the plan cache's correctness contract).
+        The catalog to serve — a plain :class:`Database` (wrapped in a
+        fresh :class:`~repro.dynamic.VersionedDatabase` internally) or an
+        existing ``VersionedDatabase`` to share with in-process writers.
+        Mutations arrive through the ``mutate`` op and publish
+        copy-on-write snapshots: open cursors keep draining the exact
+        snapshot they were planned on, new queries see the newest
+        version, and per-version fingerprints invalidate stale plan and
+        statistics cache entries while untouched relations keep theirs.
     max_cursors:
         Admission limit on concurrently open cursors.
     plan_cache_size / stats_cache_size:
@@ -60,6 +67,9 @@ class QueryService:
         (``repro-serve --workers``).  The router still declines sharding
         for small inputs and unshardable shapes; cursors over merged
         parallel streams pause/resume/evict exactly like serial ones.
+    readonly:
+        Refuse ``mutate`` requests with a clean ``sql_error``
+        (``repro-serve --readonly``).
     """
 
     def __init__(
@@ -71,9 +81,13 @@ class QueryService:
         default_batch: int = 100,
         idle_evict_s: Optional[float] = 600.0,
         workers: int = 1,
+        readonly: bool = False,
     ) -> None:
-        self.db = db
+        self.versioned = (
+            db if isinstance(db, VersionedDatabase) else VersionedDatabase(db)
+        )
         self.workers = workers
+        self.readonly = readonly
         self.plan_cache = PlanCache(plan_cache_size)
         self.stats_cache = StatsCache(stats_cache_size)
         self.cursors = CursorManager(
@@ -92,27 +106,49 @@ class QueryService:
         self._queries = 0
         self._fetches = 0
         self._rows_served = 0
+        self._mutations = 0
+
+    @property
+    def db(self) -> Database:
+        """The currently published snapshot (a plain, immutable
+        :class:`Database`; grab it once per request and keep using that
+        object for a consistent view)."""
+        return self.versioned.snapshot()
 
     # ------------------------------------------------------------------
     # Planning (cached)
     # ------------------------------------------------------------------
-    def plan(self, sql: str, engine: Optional[str] = None) -> tuple[CachedPlan, bool]:
+    def plan(
+        self,
+        sql: str,
+        engine: Optional[str] = None,
+        db: Optional[Database] = None,
+    ) -> tuple[CachedPlan, bool]:
         """The (possibly cached) compiled statement + routed plan.
 
         Returns ``(entry, was_cached)``.  The full pipeline — parse →
         analyze → route, including filter materialization — runs only on
         a miss; hits cost one parse (for normalization) and a dict probe.
+        ``db`` pins the snapshot to plan against (defaults to the newest).
+
+        The cache key fingerprints only the relations the statement's
+        FROM list names, at their current copy-on-write versions: a
+        mutation forces a miss (re-cost, re-materialize) exactly for the
+        statements that read the mutated relation, while plans over
+        untouched relations stay warm.
         """
         _check_engine(engine)
         normalized, statement = normalize_sql(sql)
-        fingerprint = database_fingerprint(self.db)
+        snapshot = db if db is not None else self.versioned.snapshot()
+        referenced = frozenset(t.relation for t in statement.tables)
+        fingerprint = database_fingerprint(snapshot, only=referenced)
         key = PlanCache.key(normalized, engine, fingerprint, self.workers)
         entry = self.plan_cache.lookup(key)
         if entry is not None:
             return entry, True
-        compiled = analyze_statement(self.db, sql, statement)
+        compiled = analyze_statement(snapshot, sql, statement)
         routed = plan_compiled(
-            self.db,
+            snapshot,
             compiled,
             engine=engine,
             stats_cache=self.stats_cache,
@@ -141,10 +177,14 @@ class QueryService:
         # regime), a doomed request must not pay parse+analyze+route or
         # pollute the plan cache.  cursors.open() re-checks at the end.
         self.cursors.ensure_capacity()
-        entry, was_cached = self.plan(sql, engine=engine)
+        # One snapshot per request: plan and execute read the same data
+        # generation even if a mutation commits mid-request, and the
+        # cursor stays pinned to it for its whole lifetime.
+        snapshot = self.versioned.snapshot()
+        entry, was_cached = self.plan(sql, engine=engine, db=snapshot)
         session_counters = Counters()
         stream = PausableStream(
-            execute(self.db, entry.compiled, entry.plan, counters=session_counters)
+            execute(snapshot, entry.compiled, entry.plan, counters=session_counters)
         )
         cursor = self.cursors.open(
             sql=sql,
@@ -241,6 +281,34 @@ class QueryService:
             "explain": render_explain(entry.compiled, entry.plan),
             "engine": entry.plan.engine,
             "plan_cached": was_cached,
+            # Which data generation the plan was costed on — with the
+            # versioned fingerprints this is also the newest generation
+            # of every relation the statement reads.
+            "version": entry.plan.snapshot_version,
+        }
+
+    def mutate(self, sql: str) -> dict:
+        """Commit one ``INSERT INTO`` / ``DELETE FROM`` statement.
+
+        Publishes a new copy-on-write snapshot: cursors opened earlier
+        keep draining their own snapshot untouched; queries planned
+        afterwards see the new version (and re-cost, because the mutated
+        relation's fingerprint changed).
+        """
+        if self.readonly:
+            raise SqlError(
+                "this server is read-only (started with --readonly); "
+                "mutations are refused"
+            )
+        compiled = analyze_mutation(self.versioned.snapshot(), sql)
+        result = apply_mutation(self.versioned, compiled)
+        with self._metrics_lock:
+            self._mutations += 1
+        return {
+            "applied": result.kind,
+            "relation": result.relation,
+            "rows": result.rows,
+            "version": result.version,
         }
 
     def close(self, cursor_id: str) -> dict:
@@ -256,13 +324,17 @@ class QueryService:
                 "queries": self._queries,
                 "fetches": self._fetches,
                 "rows_served": self._rows_served,
+                "mutations": self._mutations,
             }
+        snapshot = self.versioned.snapshot()
         return {
             "version": protocol.PROTOCOL_VERSION,
             "uptime_s": round(time.monotonic() - self._started, 3),
-            "relations": self.db.names(),
-            "total_tuples": self.db.total_tuples(),
+            "relations": snapshot.names(),
+            "total_tuples": snapshot.total_tuples(),
             "workers": self.workers,
+            "readonly": self.readonly,
+            "database": self.versioned.info(),
             **metrics,
             "plan_cache": self.plan_cache.info(),
             "stats_cache": self.stats_cache.info(),
@@ -309,6 +381,8 @@ class QueryService:
                 payload = self.explain(
                     request["sql"], engine=request.get("engine")
                 )
+            elif op == "mutate":
+                payload = self.mutate(request["sql"])
             elif op == "close":
                 payload = self.close(request["cursor"])
             else:  # "stats" — validate_request admits nothing else
@@ -321,7 +395,7 @@ class QueryService:
             return protocol.error_response(
                 request_id, protocol.UNKNOWN_CURSOR, str(exc)
             )
-        except (SqlError, QueryError) as exc:
+        except (SqlError, QueryError, MutationError) as exc:
             return protocol.error_response(
                 request_id, protocol.SQL_ERROR, str(exc)
             )

@@ -55,7 +55,7 @@ class AnykTCPServer(socketserver.ThreadingMixIn, socketserver.TCPServer):
 
     def __init__(
         self,
-        db: Database,
+        db: Database,  # or a repro.dynamic.VersionedDatabase to share
         host: str = "127.0.0.1",
         port: int = protocol.DEFAULT_PORT,
         service: Optional[QueryService] = None,

@@ -13,8 +13,11 @@ cost-based engine routing (:mod:`repro.engine`) → execution.
 
 Supported subset: ``SELECT <cols | *> FROM r1 [AS a] {JOIN r2 ON … | , r2}
 [WHERE equality joins AND constant filters] [ORDER BY
-weight|sum/max/product/lex(weight) [ASC|DESC]] [LIMIT k]``.  Everything
-else fails with a position-annotated :class:`SqlError`.
+weight|sum/max/product/lex(weight) [ASC|DESC]] [LIMIT k]``, plus the
+mutations ``INSERT INTO r [(cols...)] VALUES ...`` and ``DELETE FROM r
+[WHERE constant filters]`` through :func:`mutate` (which needs a
+:class:`repro.dynamic.VersionedDatabase`).  Everything else fails with a
+position-annotated :class:`SqlError`.
 
 Quickstart::
 
@@ -111,6 +114,29 @@ def query(
     return SqlResult(compiled, plan, stream)
 
 
+def mutate(target, sql: str):
+    """Compile and commit one ``INSERT INTO`` / ``DELETE FROM`` statement.
+
+    ``target`` must be a :class:`repro.dynamic.VersionedDatabase` — the
+    copy-on-write layer is what keeps already-open ranked streams
+    snapshot-isolated from the write.  Returns the
+    :class:`repro.dynamic.MutationResult` (kind, relation, row count, and
+    the newly published version id).
+    """
+    from repro.dynamic import VersionedDatabase
+    from repro.engine.executor import apply_mutation
+    from repro.sql.analyzer import analyze_mutation
+
+    if not isinstance(target, VersionedDatabase):
+        raise SqlError(
+            "mutations need a repro.dynamic.VersionedDatabase (wrap the "
+            "Database once: VersionedDatabase(db)); mutating a plain "
+            "Database in place would corrupt open ranked streams"
+        )
+    compiled = analyze_mutation(target.snapshot(), sql)
+    return apply_mutation(target, compiled)
+
+
 def render_explain(compiled: CompiledQuery, plan: Plan) -> str:
     """EXPLAIN text for an already-compiled, already-routed statement.
 
@@ -146,6 +172,7 @@ __all__ = [
     "SqlResult",
     "analyze",
     "explain",
+    "mutate",
     "parse",
     "query",
     "render_explain",

@@ -16,6 +16,7 @@ read naturally in EXPLAIN output, e.g.::
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -26,11 +27,13 @@ from repro.sql.errors import SqlError
 from repro.sql.nodes import (
     ColumnRef,
     Comparison,
+    DeleteStatement,
+    InsertStatement,
     Literal,
     SelectStatement,
     TableRef,
 )
-from repro.sql.parser import parse
+from repro.sql.parser import Statement, parse, parse_any
 
 RANKINGS: dict[str, RankingFunction] = {
     "sum": SUM,
@@ -118,10 +121,171 @@ class CompiledQuery:
         return tuple(self.cq.variables[p] for p in self.output_positions)
 
 
+@dataclass
+class CompiledMutation:
+    """An INSERT/DELETE lowered onto the dynamic-data layer.
+
+    ``rows``/``weights`` are schema-ordered and validated for an insert;
+    ``filters`` hold the constant predicates of a delete (empty: delete
+    everything).  :func:`repro.engine.executor.apply_mutation` turns this
+    into a committed :class:`repro.dynamic.MutationResult`.
+    """
+
+    sql: str
+    statement: Statement
+    kind: str  # "insert" | "delete"
+    relation: str
+    rows: tuple[tuple, ...] = ()
+    weights: tuple[float, ...] = ()
+    filters: tuple[Filter, ...] = ()
+
+
 def analyze(db: Database, sql: str) -> CompiledQuery:
     """Parse and semantically check ``sql`` against ``db``'s catalog."""
     statement = parse(sql)
     return analyze_statement(db, sql, statement)
+
+
+def analyze_mutation(db: Database, sql: str) -> CompiledMutation:
+    """Parse and check one INSERT/DELETE against ``db``'s catalog."""
+    statement = parse_any(sql)
+    if isinstance(statement, InsertStatement):
+        return _analyze_insert(db, sql, statement)
+    if isinstance(statement, DeleteStatement):
+        return _analyze_delete(db, sql, statement)
+    raise SqlError(
+        "expected an INSERT or DELETE statement here; SELECT goes through "
+        "repro.sql.query or the server's 'query' op",
+        sql,
+        statement.pos,
+    )
+
+
+def _mutation_relation(db: Database, sql: str, name: str, pos: int):
+    if name not in db:
+        raise SqlError(
+            f"unknown relation {name!r}; catalog has: "
+            f"{', '.join(db.names()) or '(empty database)'}",
+            sql,
+            pos,
+        )
+    return db[name]
+
+
+def _analyze_insert(
+    db: Database, sql: str, statement: InsertStatement
+) -> CompiledMutation:
+    relation = _mutation_relation(db, sql, statement.relation, statement.pos)
+    schema = relation.schema
+    if statement.columns is None:
+        value_slots: list[Optional[int]] = list(range(len(schema)))
+        weight_slot: Optional[int] = None
+        expected = len(schema)
+    else:
+        # The column list must cover the schema exactly (any order) and
+        # may additionally name the implicit 'weight' pseudo-column.
+        weight_slot = None
+        position_of: dict[str, int] = {}
+        for index, column in enumerate(statement.columns):
+            if column.lower() == "weight" and column not in schema:
+                if weight_slot is not None:
+                    raise SqlError(
+                        "duplicate 'weight' in the INSERT column list",
+                        sql,
+                        statement.pos,
+                    )
+                weight_slot = index
+                continue
+            if column not in schema:
+                raise SqlError(
+                    f"relation {relation.name!r} has no column {column!r}; "
+                    f"its schema is ({', '.join(schema)}) plus the implicit "
+                    "'weight'",
+                    sql,
+                    statement.pos,
+                )
+            if column in position_of:
+                raise SqlError(
+                    f"duplicate column {column!r} in the INSERT column list",
+                    sql,
+                    statement.pos,
+                )
+            position_of[column] = index
+        missing = [c for c in schema if c not in position_of]
+        if missing:
+            raise SqlError(
+                f"INSERT INTO {relation.name} must provide every column; "
+                f"missing: {', '.join(missing)}",
+                sql,
+                statement.pos,
+            )
+        value_slots = [position_of[c] for c in schema]
+        expected = len(statement.columns)
+    rows: list[tuple] = []
+    weights: list[float] = []
+    for value_row in statement.rows:
+        if len(value_row) != expected:
+            described = (
+                "schema order: " + ", ".join(schema)
+                if statement.columns is None
+                else "column list: " + ", ".join(statement.columns)
+            )
+            raise SqlError(
+                f"INSERT row has {len(value_row)} value(s) but {expected} "
+                f"were expected ({described}; add 'weight' to a column list "
+                "to set tuple weights)",
+                sql,
+                value_row[0].pos if value_row else statement.pos,
+            )
+        rows.append(tuple(value_row[slot].value for slot in value_slots))
+        if weight_slot is None:
+            weights.append(0.0)
+        else:
+            literal = value_row[weight_slot]
+            if (
+                not isinstance(literal.value, (int, float))
+                or isinstance(literal.value, bool)
+                or not math.isfinite(float(literal.value))
+            ):
+                raise SqlError(
+                    f"'weight' must be a finite number, got "
+                    f"{literal.value!r}",
+                    sql,
+                    literal.pos,
+                )
+            weights.append(float(literal.value))
+    return CompiledMutation(
+        sql=sql,
+        statement=statement,
+        kind="insert",
+        relation=relation.name,
+        rows=tuple(rows),
+        weights=tuple(weights),
+    )
+
+
+def _analyze_delete(
+    db: Database, sql: str, statement: DeleteStatement
+) -> CompiledMutation:
+    relation = _mutation_relation(db, sql, statement.relation, statement.pos)
+    table = TableRef(relation.name, None, statement.pos)
+    joins, filters = _classify_predicates(
+        db, sql, [table], statement.predicates
+    )
+    if joins:
+        raise SqlError(
+            "DELETE predicates must compare a column to a literal "
+            "(column-to-column predicates would be joins)",
+            sql,
+            statement.predicates[0].pos,
+        )
+    return CompiledMutation(
+        sql=sql,
+        statement=statement,
+        kind="delete",
+        relation=relation.name,
+        filters=tuple(filters),
+    )
 
 
 def analyze_statement(

@@ -72,8 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "sql",
-        nargs="?",
-        help="the SQL statement (omitted or '-': read from stdin)",
+        nargs="*",
+        help="one or more SQL statements, run in order against the same "
+        "database (INSERT/DELETE mutate it for the following statements); "
+        "omitted or '-': read one statement from stdin",
     )
     return parser
 
@@ -100,24 +102,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         db = DEMOS[args.demo or "graph"](args.seed)
 
-    sql = args.sql
-    if sql is None or sql == "-":
-        sql = sys.stdin.read()
-    if not sql.strip():
+    statements = list(args.sql)
+    if not statements or statements == ["-"]:
+        statements = [sys.stdin.read()]
+    if not any(s.strip() for s in statements):
         print("repro-sql: empty statement", file=sys.stderr)
         return 2
 
+    # Mutations need the copy-on-write layer; statements after one see
+    # the newest snapshot, exactly like the server's mutate op.
+    from repro.dynamic import VersionedDatabase
+    from repro.sql.nodes import SelectStatement
+    from repro.sql.parser import parse_any
+
+    vdb = VersionedDatabase(db, copy=False)
     try:
-        if args.explain:
-            print(repro.sql.explain(db, sql, engine=args.engine))
-            return 0
-        result = repro.sql.query(db, sql, engine=args.engine)
-        print(f"-- engine: {result.plan.engine}")
-        print(" | ".join(result.columns) + " | weight")
-        for row, weight in result:
-            rendered = " | ".join(str(value) for value in row)
-            shown = f"{weight:.6g}" if isinstance(weight, float) else str(weight)
-            print(f"{rendered} | {shown}")
+        for sql in statements:
+            statement = parse_any(sql)
+            if not isinstance(statement, SelectStatement):
+                # Mutations apply even under --explain: later statements'
+                # plans must describe the data they would really run on.
+                outcome = repro.sql.mutate(vdb, sql)
+                prefix = "-- mutation applied (no plan): " if args.explain else "-- "
+                print(f"{prefix}{outcome}")
+                continue
+            snapshot = vdb.snapshot()
+            if args.explain:
+                print(repro.sql.explain(snapshot, sql, engine=args.engine))
+                continue
+            result = repro.sql.query(snapshot, sql, engine=args.engine)
+            print(f"-- engine: {result.plan.engine}")
+            print(" | ".join(result.columns) + " | weight")
+            for row, weight in result:
+                rendered = " | ".join(str(value) for value in row)
+                shown = f"{weight:.6g}" if isinstance(weight, float) else str(weight)
+                print(f"{rendered} | {shown}")
         return 0
     except (SqlError, QueryError) as error:
         print(f"repro-sql: {error}", file=sys.stderr)

@@ -22,6 +22,7 @@ KEYWORDS = frozenset(
         "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET", "GROUP", "HAVING",
         "DISTINCT", "UNION", "EXCEPT", "INTERSECT", "LEFT", "RIGHT", "FULL",
         "OUTER", "INNER", "CROSS", "NATURAL", "USING",
+        "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET",
     }
 )
 

@@ -91,6 +91,49 @@ class OrderBy:
 
 
 @dataclass(frozen=True)
+class InsertStatement:
+    """``INSERT INTO relation [(col, ...)] VALUES (lit, ...), ...``.
+
+    ``columns is None`` means "values in schema order, weight 0".  When
+    given, the column list must cover the relation's schema (any order)
+    and may additionally name the implicit ``weight`` pseudo-column.
+    """
+
+    relation: str
+    columns: Optional[tuple[str, ...]]
+    rows: tuple[tuple[Literal, ...], ...]
+    pos: int = field(default=0, compare=False)
+
+    def __str__(self) -> str:
+        cols = "" if self.columns is None else f" ({', '.join(self.columns)})"
+        values = ", ".join(
+            "(" + ", ".join(str(v) for v in row) + ")" for row in self.rows
+        )
+        return f"INSERT INTO {self.relation}{cols} VALUES {values}"
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    """``DELETE FROM relation [WHERE constant filters]``.
+
+    Predicates must compare a column of the target relation to a
+    literal — deletes never join.
+    """
+
+    relation: str
+    predicates: tuple[Comparison, ...] = ()
+    pos: int = field(default=0, compare=False)
+
+    def __str__(self) -> str:
+        where = (
+            " WHERE " + " AND ".join(map(str, self.predicates))
+            if self.predicates
+            else ""
+        )
+        return f"DELETE FROM {self.relation}{where}"
+
+
+@dataclass(frozen=True)
 class SelectStatement:
     """One parsed ``SELECT`` statement.
 

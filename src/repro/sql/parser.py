@@ -2,11 +2,15 @@
 
 Grammar (keywords case-insensitive)::
 
-    statement   := select [';'] EOF
+    statement   := (select | insert | delete) [';'] EOF
     select      := SELECT select_list FROM table_list
                    [WHERE conjunction]
                    [ORDER BY order_key [ASC | DESC]]
                    [LIMIT integer]
+    insert      := INSERT INTO identifier ['(' identifier (',' identifier)* ')']
+                   VALUES value_row (',' value_row)*
+    value_row   := '(' literal (',' literal)* ')'
+    delete      := DELETE FROM identifier [WHERE conjunction]
     select_list := '*' | column (',' column)*
     table_list  := table_ref (join_tail)*
     join_tail   := ',' table_ref
@@ -29,11 +33,15 @@ from __future__ import annotations
 
 from typing import Optional
 
+from typing import Union
+
 from repro.sql.errors import SqlError
 from repro.sql.lexer import Token, tokenize
 from repro.sql.nodes import (
     ColumnRef,
     Comparison,
+    DeleteStatement,
+    InsertStatement,
     Literal,
     Operand,
     OrderBy,
@@ -44,10 +52,26 @@ from repro.sql.nodes import (
 #: ORDER BY aggregates and the ranking functions they select.
 ORDER_AGGREGATES = ("sum", "max", "product", "prod", "lex")
 
+#: Any statement the parser understands.
+Statement = Union[SelectStatement, InsertStatement, DeleteStatement]
+
 
 def parse(sql: str) -> SelectStatement:
     """Parse one SELECT statement; raises :class:`SqlError` on anything else."""
-    return _Parser(sql).parse_statement()
+    statement = parse_any(sql)
+    if not isinstance(statement, SelectStatement):
+        raise SqlError(
+            "expected a SELECT statement here; mutations (INSERT/DELETE) go "
+            "through repro.sql.mutate or the server's 'mutate' op",
+            sql,
+            statement.pos,
+        )
+    return statement
+
+
+def parse_any(sql: str) -> Statement:
+    """Parse one statement of any supported kind (SELECT/INSERT/DELETE)."""
+    return _Parser(sql).parse_any()
 
 
 class _Parser:
@@ -91,6 +115,102 @@ class _Parser:
         return self.advance()
 
     # -- grammar -----------------------------------------------------------
+    def parse_any(self) -> "Statement":
+        if self.current.is_keyword("INSERT"):
+            return self.parse_insert()
+        if self.current.is_keyword("DELETE"):
+            return self.parse_delete()
+        if self.current.is_keyword("UPDATE"):
+            raise self.error(
+                "UPDATE is not supported; express it as DELETE FROM ... WHERE "
+                "followed by INSERT INTO"
+            )
+        return self.parse_statement()
+
+    def _expect_end(self) -> None:
+        """Consume an optional trailing ``;`` and require end of input."""
+        if self.current.is_op(";"):
+            self.advance()
+        if self.current.kind != "eof":
+            raise self.error(
+                f"unexpected {self.current.describe()} after the statement"
+            )
+
+    def parse_insert(self) -> InsertStatement:
+        start = self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        relation = self.expect_ident("relation name")
+        columns: Optional[tuple[str, ...]] = None
+        if self.current.is_op("("):
+            self.advance()
+            names = [self.parse_insert_column()]
+            while self.current.is_op(","):
+                self.advance()
+                names.append(self.parse_insert_column())
+            self.expect_op(")")
+            columns = tuple(names)
+        self.expect_keyword("VALUES")
+        rows = [self.parse_value_row()]
+        while self.current.is_op(","):
+            self.advance()
+            rows.append(self.parse_value_row())
+        self._expect_end()
+        return InsertStatement(
+            relation=relation.text,
+            columns=columns,
+            rows=tuple(rows),
+            pos=start.pos,
+        )
+
+    def parse_insert_column(self) -> str:
+        """One INSERT column-list entry (a bare column name)."""
+        token = self.expect_ident("column name")
+        if self.current.is_op("."):
+            raise self.error(
+                "INSERT column lists take bare column names (the target "
+                "relation is already fixed)"
+            )
+        return token.text
+
+    def parse_value_row(self) -> tuple[Literal, ...]:
+        self.expect_op("(")
+        values = [self.parse_value_literal()]
+        while self.current.is_op(","):
+            self.advance()
+            values.append(self.parse_value_literal())
+        self.expect_op(")")
+        return tuple(values)
+
+    def parse_value_literal(self) -> Literal:
+        token = self.current
+        if token.kind == "ident" or token.kind == "keyword":
+            raise self.error(
+                f"VALUES entries must be number or string literals, found "
+                f"{token.describe()} (expressions and column references are "
+                "not supported)"
+            )
+        operand = self.parse_operand()
+        assert isinstance(operand, Literal)  # idents were rejected above
+        return operand
+
+    def parse_delete(self) -> DeleteStatement:
+        start = self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        relation = self.expect_ident("relation name")
+        if self.current.kind == "ident" or self.current.is_keyword("AS"):
+            raise self.error(
+                "DELETE does not take table aliases; predicates refer to "
+                "the relation's own column names"
+            )
+        predicates: tuple[Comparison, ...] = ()
+        if self.current.is_keyword("WHERE"):
+            self.advance()
+            predicates = tuple(self.parse_conjunction())
+        self._expect_end()
+        return DeleteStatement(
+            relation=relation.text, predicates=predicates, pos=start.pos
+        )
+
     def parse_statement(self) -> SelectStatement:
         start = self.expect_keyword("SELECT")
         self._reject_unsupported_select_modifiers()
@@ -104,12 +224,7 @@ class _Parser:
         order_by = self.parse_order_by()
         limit = self.parse_limit()
         self._reject_trailers()
-        if self.current.is_op(";"):
-            self.advance()
-        if self.current.kind != "eof":
-            raise self.error(
-                f"unexpected {self.current.describe()} after the statement"
-            )
+        self._expect_end()
         return SelectStatement(
             columns=columns,
             tables=tuple(tables),

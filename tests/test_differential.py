@@ -119,6 +119,117 @@ def test_full_stream_agreement_beyond_prefix(workers):
         assert got == reference
 
 
+NUM_DYNAMIC_INSTANCES = 10
+
+#: Interleaved steps per dynamic instance (mutations and queries mixed).
+DYNAMIC_STEPS = 14
+
+
+def _instance_sql(query: ConjunctiveQuery, k: int) -> str:
+    """The SQL spelling of a random instance's query.
+
+    Relation schemas in :func:`random_acyclic_instance` are the atom's
+    variable names, so shared variables become equality predicates on
+    same-named columns; SELECT * output order then matches
+    ``query.variables`` (first appearance in FROM × schema order).
+    """
+    tables = ", ".join(f"R{i}" for i in range(len(query.atoms)))
+    seen: dict[str, str] = {}
+    conditions = []
+    for index, atom in enumerate(query.atoms):
+        for variable in atom.variables:
+            if variable in seen:
+                conditions.append(f"{seen[variable]}.{variable} = R{index}.{variable}")
+            else:
+                seen[variable] = f"R{index}"
+    where = f" WHERE {' AND '.join(conditions)}" if conditions else ""
+    return f"SELECT * FROM {tables}{where} ORDER BY weight LIMIT {k}"
+
+
+@pytest.mark.parametrize("seed", range(NUM_DYNAMIC_INSTANCES))
+def test_mutation_interleavings_match_fresh_recompute(seed):
+    """Randomized mutation/query interleavings against a shadow model.
+
+    A :class:`~repro.server.service.QueryService` (plan + stats caches
+    live) takes seeded random INSERT/DELETE mutations interleaved with
+    ranked queries; after every step, the served ranked prefix must equal
+    a from-scratch recompute over a *fresh* database rebuilt from a
+    plain-Python shadow copy of the data.  Any stale cache entry, leaked
+    snapshot, or missed invalidation shows up as a divergence.
+    """
+    from repro.server.service import QueryService
+
+    db, query, k = random_acyclic_instance(seed)
+    sql = _instance_sql(query, k)
+    rng = random.Random(90210 + seed)
+    grid = 4 if seed % 5 == 0 else 64
+    domain = 6
+    # The shadow model: plain lists, mutated in lockstep with the service.
+    model = {
+        r.name: (list(r.rows), list(r.weights), r.schema) for r in db
+    }
+    service = QueryService(db)
+
+    def fresh_database() -> Database:
+        return Database(
+            Relation(name, schema, rows, weights)
+            for name, (rows, weights, schema) in model.items()
+        )
+
+    def check():
+        got = [
+            (tuple(row), weight)
+            for row, weight in service.query(sql, fetch=k)["rows"]
+        ]
+        expected = list(
+            rank_enumerate(fresh_database(), query, method="batch", k=k)
+        )
+        assert got == expected, f"divergence at seed {seed}"
+
+    check()
+    for _ in range(DYNAMIC_STEPS):
+        name = f"R{rng.randrange(len(query.atoms))}"
+        rows, weights, schema = model[name]
+        action = rng.random()
+        if action < 0.45:  # insert 1-3 rows
+            count = rng.randint(1, 3)
+            new = [
+                (rng.randrange(domain), rng.randrange(domain))
+                for _ in range(count)
+            ]
+            new_weights = [rng.randint(0, 10 * grid) / grid for _ in new]
+            values = ", ".join(
+                f"({a}, {b}, {w!r})" for (a, b), w in zip(new, new_weights)
+            )
+            service.mutate(
+                f"INSERT INTO {name} ({schema[0]}, {schema[1]}, weight) "
+                f"VALUES {values}"
+            )
+            rows.extend(new)
+            weights.extend(new_weights)
+        elif action < 0.8:  # delete by a constant filter
+            column = rng.choice(schema)
+            position = schema.index(column)
+            threshold = rng.randrange(domain)
+            op = rng.choice(["=", "<=", ">"])
+            service.mutate(
+                f"DELETE FROM {name} WHERE {column} {op} {threshold}"
+            )
+            test = {
+                "=": lambda v: v == threshold,
+                "<=": lambda v: v <= threshold,
+                ">": lambda v: v > threshold,
+            }[op]
+            kept = [
+                (row, weight)
+                for row, weight in zip(rows, weights)
+                if not test(row[position])
+            ]
+            rows[:] = [row for row, _ in kept]
+            weights[:] = [weight for _, weight in kept]
+        check()
+
+
 def test_all_equal_weights_tie_order_is_identical_everywhere():
     """The degenerate all-ties instance: order must be pure row identity."""
     rows = [(i, j) for i in range(4) for j in range(4)]

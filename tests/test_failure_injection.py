@@ -85,6 +85,31 @@ def test_naive_guard_on_explosive_cross_products():
         naive_join(db, q, max_combinations=10**6)
 
 
+def test_sql_mutate_refuses_plain_databases():
+    import repro.sql
+    from repro.sql.errors import SqlError
+
+    with pytest.raises(SqlError, match="VersionedDatabase"):
+        repro.sql.mutate(_db(), "INSERT INTO R1 VALUES (1, 2)")
+
+
+def test_mutation_failures_leave_no_partial_state():
+    import repro.sql
+    from repro.dynamic import VersionedDatabase
+    from repro.sql.errors import SqlError
+
+    vdb = VersionedDatabase(_db())
+    for bad in (
+        "INSERT INTO R1 VALUES (1, 2), (3, 4, 5)",  # second row bad arity
+        "DELETE FROM Missing",
+        "INSERT INTO R1 (A1, A2, weight) VALUES (1, 2, 'x')",
+    ):
+        with pytest.raises(SqlError):
+            repro.sql.mutate(vdb, bad)
+    assert vdb.version == 1
+    assert len(vdb.snapshot()["R1"]) == 1
+
+
 def test_disconnected_query_is_a_cross_product_not_an_error():
     db = Database(
         [

@@ -1,0 +1,89 @@
+"""End-to-end mutation smoke: a real ``repro-serve`` process over TCP.
+
+What CI's "mutation smoke" job runs: boot the server subprocess, then
+insert / delete / query through the wire client and check snapshot
+versions, cache behavior, and clean shutdown.  Kept separate from
+``test_server_cli.py`` so the two smoke jobs stay independently
+selectable.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.mark.slow
+def test_serve_mutation_smoke():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.server.cli",
+            "--gen",
+            "path:length=2,size=300,domain=40,seed=11",
+            "--port",
+            "0",
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        port = None
+        for _ in range(2):
+            line = process.stdout.readline()
+            if "listening on" in line:
+                port = int(line.rsplit(":", 1)[1])
+        assert port, "repro-serve never printed its listening line"
+
+        from repro.server import Client, ServerError
+
+        sql = (
+            "SELECT * FROM R1 JOIN R2 ON R1.A2 = R2.A2 "
+            "ORDER BY weight LIMIT 20"
+        )
+        with Client(port=port) as client:
+            before = client.execute(sql, batch=20).fetchall()
+            assert len(before) == 20
+
+            inserted = client.mutate(
+                "INSERT INTO R1 (A1, A2, weight) VALUES (1, 2, -10.0)"
+            )
+            assert inserted["applied"] == "insert"
+            assert inserted["version"] == 2
+
+            # The artificially light row must now lead the ranking.
+            after_insert = client.execute(sql, batch=20).fetchall()
+            assert after_insert != before
+            assert after_insert[0][1] <= before[0][1]
+
+            deleted = client.mutate("DELETE FROM R1 WHERE A1 = 1 AND A2 = 2")
+            assert deleted["applied"] == "delete"
+            assert deleted["rows"] >= 1
+            assert deleted["version"] == 3
+
+            stats = client.stats()
+            assert stats["mutations"] == 2
+            assert stats["database"]["version"] == 3
+            assert stats["database"]["relation_versions"]["R2"] == 0
+
+            with pytest.raises(ServerError) as excinfo:
+                client.mutate("DELETE FROM Nope")
+            assert excinfo.value.code == "sql_error"
+
+        process.send_signal(signal.SIGINT)
+        assert process.wait(timeout=30) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)

@@ -243,16 +243,19 @@ def test_plan_cache_key_separates_engines_and_limits(path_db):
 
 
 def test_catalog_fingerprint_invalidates_plans(path_db):
-    db = path_db.copy()
-    service = QueryService(db)
+    service = QueryService(path_db)
     sql = PATH_SQL.format(k=10)
     service.handle({"id": 1, "op": "explain", "sql": sql})
-    before = database_fingerprint(db)
-    extra = Relation("Zextra", ("a",))
-    extra.add((1,), 0.5)
-    db.add(extra)
-    assert database_fingerprint(db) != before
-    response = service.handle({"id": 2, "op": "explain", "sql": sql})
+    before = database_fingerprint(service.db, only={"R1", "R2", "R3"})
+    # Mutating a referenced relation bumps its version: the fingerprint
+    # changes even though an insert+delete pair keeps cardinalities not
+    # obviously distinguishable, and the cached plan must miss.
+    mutated = service.handle(
+        {"id": 2, "op": "mutate", "sql": "INSERT INTO R1 VALUES (1, 2)"}
+    )
+    assert mutated["ok"] and mutated["applied"] == "insert"
+    assert database_fingerprint(service.db, only={"R1", "R2", "R3"}) != before
+    response = service.handle({"id": 3, "op": "explain", "sql": sql})
     assert response["ok"] and not response["plan_cached"]
     assert service.plan_cache.info()["misses"] == 2
 

@@ -163,3 +163,71 @@ def test_multiline_error_location():
     with pytest.raises(SqlError) as excinfo:
         parse(sql)
     assert "line 3" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# Mutation statements (INSERT INTO / DELETE FROM)
+# ----------------------------------------------------------------------
+def test_parse_insert_round_trips():
+    from repro.sql.nodes import InsertStatement
+    from repro.sql.parser import parse_any
+
+    statement = parse_any(
+        "insert into E (src, dst, weight) values (1, 2, 0.5), (3, 4, -1)"
+    )
+    assert isinstance(statement, InsertStatement)
+    assert statement.relation == "E"
+    assert statement.columns == ("src", "dst", "weight")
+    assert [tuple(v.value for v in row) for row in statement.rows] == [
+        (1, 2, 0.5),
+        (3, 4, -1),
+    ]
+    assert (
+        str(statement)
+        == "INSERT INTO E (src, dst, weight) VALUES (1, 2, 0.5), (3, 4, -1)"
+    )
+
+
+def test_parse_insert_without_column_list():
+    from repro.sql.parser import parse_any
+
+    statement = parse_any("INSERT INTO E VALUES ('a', 'b');")
+    assert statement.columns is None
+    assert [v.value for v in statement.rows[0]] == ["a", "b"]
+
+
+def test_parse_delete_with_and_without_where():
+    from repro.sql.nodes import DeleteStatement
+    from repro.sql.parser import parse_any
+
+    bare = parse_any("DELETE FROM E")
+    assert isinstance(bare, DeleteStatement)
+    assert bare.predicates == ()
+    filtered = parse_any("delete from E where src = 1 and dst <> 'x'")
+    assert len(filtered.predicates) == 2
+    assert str(filtered) == "DELETE FROM E WHERE src = 1 AND dst <> 'x'"
+
+
+@pytest.mark.parametrize(
+    "sql, needle",
+    [
+        ("INSERT INTO E (a.b) VALUES (1)", "bare column names"),
+        ("INSERT INTO E VALUES (x)", "must be number or string literals"),
+        ("INSERT INTO E VALUES (1, 2) garbage", "unexpected"),
+        ("INSERT INTO E", "expected VALUES"),
+        ("DELETE FROM E AS alias", "does not take table aliases"),
+        ("DELETE FROM E WHERE", "expected a column or literal"),
+        ("UPDATE E SET a = 1", "UPDATE is not supported"),
+    ],
+)
+def test_mutation_diagnostics(sql, needle):
+    from repro.sql.parser import parse_any
+
+    with pytest.raises(SqlError) as excinfo:
+        parse_any(sql)
+    assert needle in str(excinfo.value)
+
+
+def test_parse_rejects_mutations_where_select_is_expected():
+    with pytest.raises(SqlError, match="repro.sql.mutate"):
+        parse("INSERT INTO E VALUES (1, 2)")
