@@ -1,0 +1,106 @@
+"""E22: SLO under load — wire cost vs engine cost, scenario by scenario.
+
+Runs each built-in scenario twice on the same seeded trace: once
+in-process (protocol dicts straight into ``QueryService``) and once
+over real TCP sockets, so the difference between the two latency
+columns *is* the wire (JSON framing + TCP + the thread-pool handler).
+Replay validation stays on throughout: every sampled page must match a
+serial recompute on its cursor's pinned snapshot, so the bench doubles
+as a correctness gate for the session/parallel/dynamic layers under
+genuine concurrency.
+
+Writes the wire read-mostly report to ``BENCH_workload.json`` — the
+machine-readable series future performance PRs are judged against.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_e22_workload.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import print_table  # noqa: E402
+
+from repro.workload import SCENARIOS, run_scenario  # noqa: E402
+
+SEED = 7
+DURATION = 3.0
+CLIENTS = 4
+SAMPLE = 0.25
+
+
+def main() -> None:
+    rows = []
+    saved_report = None
+    for name in sorted(SCENARIOS):
+        for mode in ("inprocess", "wire"):
+            result = run_scenario(
+                name,
+                seed=SEED,
+                duration=DURATION,
+                clients=CLIENTS,
+                mode=mode,
+                sample=SAMPLE,
+            )
+            report = result.report
+            query = report["ops"]["query"]
+            ttfr = report["ttfr_ms"]
+            validation = report["validation"]
+            rows.append(
+                (
+                    name,
+                    mode,
+                    report["trace"]["queries"],
+                    report["trace"]["mutations"],
+                    query.get("p50_ms", 0.0),
+                    query.get("p99_ms", 0.0),
+                    ttfr.get("p50_ms", 0.0),
+                    ttfr.get("p99_ms", 0.0),
+                    report["throughput"]["ops_per_s"],
+                    report["errors"]["total"],
+                    f"{validation['mismatches']}/{validation['checked']}",
+                )
+            )
+            assert report["errors"]["total"] == 0, (name, mode, report["errors"])
+            assert validation["mismatches"] == 0, (name, mode)
+            if name == "read-mostly" and mode == "wire":
+                saved_report = report
+
+    print_table(
+        f"E22: load-test SLOs (seed {SEED}, {DURATION:g}s horizon, "
+        f"{CLIENTS} clients; replay validation on)",
+        (
+            "scenario",
+            "mode",
+            "queries",
+            "muts",
+            "q p50",
+            "q p99",
+            "ttfr p50",
+            "ttfr p99",
+            "op/s",
+            "err",
+            "miss/chk",
+        ),
+        rows,
+    )
+    print(
+        "\nEvery sampled page matched a serial recompute on its pinned "
+        "snapshot; the wire-vs-inprocess latency gap is the protocol cost."
+    )
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_workload.json"
+    with out.open("w", encoding="utf-8") as handle:
+        json.dump(saved_report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wire read-mostly report written to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,12 +5,14 @@ with open("README.md", encoding="utf-8") as handle:
 
 setup(
     name="repro-anyk",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Optimal joins meet top-k: ranked (any-k) enumeration for "
         "conjunctive queries, with a SQL front-end, cost-based engine "
-        "router, partition-parallel sharded execution, and a concurrent "
-        "query server with resumable snapshot-isolated cursors over versioned dynamic data (reproduction of Tziavelis, "
+        "router, partition-parallel sharded execution, a concurrent "
+        "query server with resumable snapshot-isolated cursors over "
+        "versioned dynamic data, and a seeded load-generation/SLO "
+        "harness (reproduction of Tziavelis, "
         "Gatterbauer, Riedewald, SIGMOD 2020)"
     ),
     long_description=LONG_DESCRIPTION,
@@ -31,6 +33,7 @@ setup(
         "console_scripts": [
             "repro-sql = repro.sql.cli:main",
             "repro-serve = repro.server.cli:main",
+            "repro-loadgen = repro.workload.cli:main",
         ],
     },
     classifiers=[

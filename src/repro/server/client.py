@@ -184,6 +184,9 @@ class ResultCursor:
         self.columns: tuple[str, ...] = tuple(response.get("columns", ()))
         self.engine: str = response.get("engine", "")
         self.plan_cached: bool = bool(response.get("plan_cached"))
+        #: The snapshot version the server pinned this cursor to: every
+        #: page, however late it is fetched, drains that generation.
+        self.version: Optional[int] = response.get("version")
         self._pending: list[tuple[tuple, Any]] = [
             _wire_pair(p) for p in response.get("rows", ())
         ]

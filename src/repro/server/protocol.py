@@ -16,7 +16,10 @@ Op fields (see :class:`repro.server.service.QueryService` for semantics):
 
 ``query``
     ``sql`` (required), ``engine`` (optional router override), ``fetch``
-    (optional int: rows to inline in the response, default 0).
+    (optional int: rows to inline in the response, default 0).  The
+    response carries ``version``, the snapshot generation the cursor is
+    pinned to for its whole lifetime (validation harnesses replay pages
+    against a recompute of exactly that generation).
 ``fetch``
     ``cursor`` (required), ``n`` (optional int, default server batch).
 ``explain``

@@ -101,6 +101,12 @@ class QueryService:
         #: Server-wide RAM-model work, aggregated from per-cursor counters
         #: when cursors close (thread-safe merge).
         self.counters = Counters()
+        #: Server-side per-op wall-clock latencies (ms), observed around
+        #: every dispatched request in :meth:`handle` — errors included,
+        #: since a failing request still costs the server time.  The
+        #: ``stats`` op reports them as ``op_latency_ms`` so load
+        #: generators can split wire cost from engine cost.
+        self.op_timers = Counters()
         self._started = time.monotonic()
         self._metrics_lock = threading.Lock()
         self._queries = 0
@@ -200,6 +206,11 @@ class QueryService:
             "columns": list(entry.compiled.output_columns),
             "engine": entry.plan.engine,
             "plan_cached": was_cached,
+            # The snapshot generation the cursor is pinned to — every
+            # page it ever serves drains exactly this version, which is
+            # what lets a load generator replay sampled pages against a
+            # serial recompute of the same generation.
+            "version": snapshot.version,
             "rows": [],
             "done": False,
         }
@@ -340,6 +351,7 @@ class QueryService:
             "stats_cache": self.stats_cache.info(),
             "cursors": self.cursors.stats(),
             "counters": self.counters.snapshot(),
+            "op_latency_ms": self.op_timers.timing_summary(),
         }
 
     def shutdown(self) -> None:
@@ -363,6 +375,21 @@ class QueryService:
             if deadline_ms is not None
             else None
         )
+        started = time.perf_counter()
+        try:
+            return self._dispatch(request_id, op, request, deadline)
+        finally:
+            self.op_timers.observe(
+                op, (time.perf_counter() - started) * 1000.0
+            )
+
+    def _dispatch(
+        self,
+        request_id: Any,
+        op: str,
+        request: dict,
+        deadline: Optional[float],
+    ) -> dict:
         try:
             if op == "query":
                 payload = self.query(

@@ -1,0 +1,115 @@
+"""Traffic generation, load-testing, and SLO reporting for the any-k stack.
+
+Any-k's headline property — low time-to-first/next result — is a
+*latency* claim, and latency claims are only meaningful under load:
+many concurrent clients, skewed template popularity, bursty arrivals,
+mutations racing long-lived cursors.  This package is the harness that
+measures exactly that, end to end against ``repro-serve`` or in-process
+against :class:`~repro.server.service.QueryService`.
+
+Layers (each usable on its own):
+
+- :mod:`repro.workload.sampling` — seeded Zipfian / uniform / hotspot
+  popularity samplers;
+- :mod:`repro.workload.arrival` — closed-loop, open-loop Poisson, and
+  bursty on/off arrival processes, materialized into schedules up front
+  so a seed fully determines the trace;
+- :mod:`repro.workload.scenarios` — query/mutation template pools and
+  the built-in :data:`~repro.workload.scenarios.SCENARIOS` registry;
+  :func:`~repro.workload.scenarios.build_trace` is the determinism
+  boundary;
+- :mod:`repro.workload.histogram` — mergeable fixed-bucket latency
+  histograms (shard-per-thread, fold at the end);
+- :mod:`repro.workload.metrics` — per-op latency, time-to-first/k'th
+  result, throughput windows, and the SLO report (text + JSON);
+- :mod:`repro.workload.driver` — the threaded multi-client wire and
+  in-process drivers;
+- :mod:`repro.workload.validate` — sampled pages replayed against a
+  serial recompute on the cursor's pinned snapshot, so every load test
+  is also a correctness test;
+- :mod:`repro.workload.cli` — the ``repro-loadgen`` console script.
+
+Quickstart::
+
+    from repro.workload import run_scenario
+
+    result = run_scenario("read-mostly", seed=7, duration=5, clients=4)
+    print(result.report["ttfr_ms"])     # time-to-first-result percentiles
+    assert result.validation.mismatches == []
+"""
+
+from repro.workload.arrival import (
+    ArrivalProcess,
+    BurstyOnOff,
+    ClosedLoop,
+    OpenLoopPoisson,
+)
+from repro.workload.driver import (
+    InProcessConnection,
+    LoadResult,
+    WireConnection,
+    run_scenario,
+    run_trace,
+)
+from repro.workload.histogram import DEFAULT_BOUNDS, Histogram, geometric_bounds
+from repro.workload.metrics import MetricsCollector, build_report, render_text
+from repro.workload.sampling import (
+    HotspotSampler,
+    Sampler,
+    UniformSampler,
+    ZipfianSampler,
+    make_sampler,
+)
+from repro.workload.scenarios import (
+    SCENARIOS,
+    FloatParam,
+    IntParam,
+    MutationTemplate,
+    QueryTemplate,
+    Request,
+    Scenario,
+    Trace,
+    build_trace,
+)
+from repro.workload.validate import (
+    SampledPage,
+    ValidationResult,
+    normalize_page,
+    verify_samples,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstyOnOff",
+    "ClosedLoop",
+    "DEFAULT_BOUNDS",
+    "FloatParam",
+    "Histogram",
+    "HotspotSampler",
+    "InProcessConnection",
+    "IntParam",
+    "LoadResult",
+    "MetricsCollector",
+    "MutationTemplate",
+    "OpenLoopPoisson",
+    "QueryTemplate",
+    "Request",
+    "SCENARIOS",
+    "SampledPage",
+    "Sampler",
+    "Scenario",
+    "Trace",
+    "UniformSampler",
+    "ValidationResult",
+    "WireConnection",
+    "ZipfianSampler",
+    "build_report",
+    "build_trace",
+    "geometric_bounds",
+    "make_sampler",
+    "normalize_page",
+    "render_text",
+    "run_scenario",
+    "run_trace",
+    "verify_samples",
+]

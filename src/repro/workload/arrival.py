@@ -1,0 +1,140 @@
+"""Arrival processes: *when* requests fire, decoupled from *what* they are.
+
+Every process turns ``(rng, duration, lanes)`` into a finite per-lane
+schedule of start offsets **before the run begins**.  That up-front
+materialization is the determinism contract of the whole load
+generator: the trace (templates, parameters, mutation order, event
+count) is a pure function of the seed, and wall-clock jitter during
+execution can delay events but never change them.  ``duration`` is
+therefore a *schedule horizon*, not a kill switch — a run always
+executes its full schedule, possibly finishing late on a slow server
+(which is exactly the overload signal an open-loop test exists to
+surface).
+
+Three classics:
+
+- :class:`ClosedLoop` — N clients, each issuing its next request the
+  moment the previous one completes (offsets are ``None``: "no pacing").
+  Throughput adapts to the server; latency hides queueing.
+- :class:`OpenLoopPoisson` — requests fire on a Poisson clock regardless
+  of completions (the AsyncFlow / classic load-testing model).  Queueing
+  delay shows up as tail latency, which is the honest measurement.
+- :class:`BurstyOnOff` — a Poisson process modulated by an on/off duty
+  cycle: bursts at a high rate, lulls at a low one.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+class ArrivalProcess:
+    """Builds one lane's schedule of start offsets (seconds from t0)."""
+
+    def lane_offsets(
+        self, rng: random.Random, duration: float, lanes: int
+    ) -> list[Optional[float]]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class ClosedLoop(ArrivalProcess):
+    """Back-to-back requests per client, sized by a nominal rate.
+
+    ``ops_per_client_s`` only fixes the *schedule length*
+    (``duration * ops_per_client_s`` events per lane); execution runs
+    them as fast as responses come back, which is what "closed loop"
+    means.
+    """
+
+    def __init__(self, ops_per_client_s: float = 25.0) -> None:
+        if ops_per_client_s <= 0:
+            raise ValueError("ops_per_client_s must be positive")
+        self.ops_per_client_s = ops_per_client_s
+
+    def lane_offsets(
+        self, rng: random.Random, duration: float, lanes: int
+    ) -> list[Optional[float]]:
+        count = max(1, int(duration * self.ops_per_client_s))
+        return [None] * count
+
+    def describe(self) -> str:
+        return f"closed-loop ({self.ops_per_client_s:g} op/s/client nominal)"
+
+
+class OpenLoopPoisson(ArrivalProcess):
+    """Poisson arrivals at ``rate`` total ops/s, split evenly over lanes.
+
+    Splitting a Poisson stream over lanes by thinning keeps each lane
+    Poisson at ``rate / lanes``; drawing each lane's gaps from its own
+    rng keeps lane schedules independent of how many lanes there are
+    before this one.
+    """
+
+    def __init__(self, rate: float = 50.0) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+
+    def lane_offsets(
+        self, rng: random.Random, duration: float, lanes: int
+    ) -> list[Optional[float]]:
+        lane_rate = self.rate / lanes
+        offsets: list[Optional[float]] = []
+        t = rng.expovariate(lane_rate)
+        while t < duration:
+            offsets.append(t)
+            t += rng.expovariate(lane_rate)
+        return offsets
+
+    def describe(self) -> str:
+        return f"open-loop Poisson ({self.rate:g} op/s total)"
+
+
+class BurstyOnOff(ArrivalProcess):
+    """Poisson arrivals whose rate alternates between on and off phases.
+
+    The cycle starts "on": ``on_s`` seconds at ``on_rate`` total ops/s,
+    then ``off_s`` at ``off_rate``, repeating until the horizon.  Gaps
+    are drawn at the rate of the phase the *current* time falls in —
+    a standard Markov-modulated Poisson approximation that is exact in
+    the limit of gaps short against the phase length.
+    """
+
+    def __init__(
+        self,
+        on_rate: float = 150.0,
+        off_rate: float = 10.0,
+        on_s: float = 1.0,
+        off_s: float = 2.0,
+    ) -> None:
+        if min(on_rate, off_rate) <= 0 or min(on_s, off_s) <= 0:
+            raise ValueError("rates and phase lengths must be positive")
+        self.on_rate = on_rate
+        self.off_rate = off_rate
+        self.on_s = on_s
+        self.off_s = off_s
+
+    def lane_offsets(
+        self, rng: random.Random, duration: float, lanes: int
+    ) -> list[Optional[float]]:
+        cycle = self.on_s + self.off_s
+        offsets: list[Optional[float]] = []
+        t = 0.0
+        while True:
+            phase_rate = (
+                self.on_rate if (t % cycle) < self.on_s else self.off_rate
+            )
+            t += rng.expovariate(phase_rate / lanes)
+            if t >= duration:
+                return offsets
+            offsets.append(t)
+
+    def describe(self) -> str:
+        return (
+            f"bursty on/off ({self.on_rate:g} op/s for {self.on_s:g}s, "
+            f"{self.off_rate:g} op/s for {self.off_s:g}s)"
+        )

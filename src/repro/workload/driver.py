@@ -1,0 +1,445 @@
+"""Multi-client drivers: execute a trace, measure it, sample it.
+
+Two drivers share one implementation behind a tiny connection seam:
+
+- **wire** — one :class:`repro.server.Client` socket per lane against a
+  real ``repro-serve`` endpoint (measures the full stack: JSON framing,
+  TCP, the thread-pool handler, the engine);
+- **in-process** — the same protocol dicts handed straight to
+  :meth:`repro.server.service.QueryService.handle` (no sockets), which
+  isolates engine cost from wire cost: the difference between the two
+  reports *is* the wire.
+
+Each query lane replays its schedule — ``query`` with an inline
+prefetch page, then explicit ``fetch`` round trips until the ranked
+stream completes — while the single mutation lane commits the
+scenario's INSERT/DELETE stream alongside.  Lanes record latencies into
+private collectors (merged afterwards) and sample a fraction of
+received pages for the post-run replay validation
+(:mod:`repro.workload.validate`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.server.client import Client, ServerError
+from repro.workload.metrics import MetricsCollector, build_report
+from repro.workload.scenarios import (
+    SCENARIOS,
+    Scenario,
+    Trace,
+    build_trace,
+)
+from repro.workload.validate import (
+    SampledPage,
+    ValidationResult,
+    normalize_page,
+    verify_samples,
+)
+
+#: Global cap on pages kept for replay validation (memory bound).
+MAX_SAMPLED_PAGES = 400
+
+
+# ----------------------------------------------------------------------
+# Connections: one seam, two transports
+# ----------------------------------------------------------------------
+class InProcessConnection:
+    """Protocol dicts straight into ``QueryService.handle`` — no wire."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+        self._ids = itertools.count(1)
+
+    def call(self, op: str, **fields) -> dict:
+        request = {"id": next(self._ids), "op": op}
+        request.update({k: v for k, v in fields.items() if v is not None})
+        response = self.service.handle(request)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServerError(
+                error.get("code", "internal"),
+                error.get("message", "unspecified error"),
+            )
+        return response
+
+    def close(self) -> None:
+        pass
+
+
+class WireConnection:
+    """One TCP socket per lane (real concurrency needs real sockets)."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.client = Client(host=host, port=port)
+
+    def call(self, op: str, **fields) -> dict:
+        return self.client.call(
+            op, **{k: v for k, v in fields.items() if v is not None}
+        )
+
+    def close(self) -> None:
+        self.client.close()
+
+
+# ----------------------------------------------------------------------
+# Lane execution
+# ----------------------------------------------------------------------
+def _pace(t0: float, offset_s: Optional[float]) -> None:
+    if offset_s is not None:
+        delay = t0 + offset_s - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+
+
+@dataclass
+class _LaneState:
+    """Everything one lane thread writes (merged after join)."""
+
+    metrics: MetricsCollector = field(default_factory=MetricsCollector)
+    samples: list = field(default_factory=list)
+    mutation_log: list = field(default_factory=list)
+    fatal: Optional[BaseException] = None
+
+
+def _run_query_lane(
+    connection,
+    requests,
+    t0: float,
+    sample_fraction: float,
+    sample_rng: random.Random,
+    sample_budget: int,
+    state: _LaneState,
+) -> None:
+    metrics = state.metrics
+    for request in requests:
+        _pace(t0, request.offset_s)
+        issued = time.perf_counter()
+        try:
+            response = connection.call(
+                "query", sql=request.sql, fetch=request.batch
+            )
+        except ServerError as exc:
+            now = time.perf_counter()
+            metrics.record_op("query", (now - issued) * 1000.0, now - t0)
+            metrics.record_error(exc.code)
+            continue
+        now = time.perf_counter()
+        metrics.record_op("query", (now - issued) * 1000.0, now - t0)
+        version = response.get("version")
+        cursor = response.get("cursor")
+        rows = response.get("rows") or []
+        done = bool(response.get("done"))
+        offset = 0
+        saw_first = False
+        failed = False
+        while True:
+            if rows:
+                if not saw_first:
+                    saw_first = True
+                    metrics.record_ttfr(
+                        (time.perf_counter() - issued) * 1000.0
+                    )
+                metrics.record_rows(len(rows))
+                if (
+                    sample_fraction > 0
+                    and version is not None
+                    and len(state.samples) < sample_budget
+                    and sample_rng.random() < sample_fraction
+                ):
+                    state.samples.append(
+                        SampledPage(
+                            sql=request.sql,
+                            version=version,
+                            offset=offset,
+                            rows=normalize_page(rows),
+                        )
+                    )
+                offset += len(rows)
+            if done or cursor is None:
+                metrics.record_ttk((time.perf_counter() - issued) * 1000.0)
+                break
+            fetch_at = time.perf_counter()
+            try:
+                response = connection.call(
+                    "fetch", cursor=cursor, n=request.batch
+                )
+            except ServerError as exc:
+                # Failed round trips still count as ops (same rule as
+                # query/mutate): the server spent the time either way.
+                now = time.perf_counter()
+                metrics.record_op("fetch", (now - fetch_at) * 1000.0, now - t0)
+                metrics.record_error(exc.code)
+                failed = True
+                break
+            now = time.perf_counter()
+            metrics.record_op("fetch", (now - fetch_at) * 1000.0, now - t0)
+            rows = response.get("rows") or []
+            done = bool(response.get("done"))
+        if failed and cursor is not None:
+            try:  # free the server slot; best-effort
+                connection.call("close", cursor=cursor)
+            except ServerError:
+                pass
+
+
+def _run_mutation_lane(
+    connection, requests, t0: float, state: _LaneState
+) -> None:
+    metrics = state.metrics
+    for request in requests:
+        _pace(t0, request.offset_s)
+        issued = time.perf_counter()
+        try:
+            response = connection.call("mutate", sql=request.sql)
+        except ServerError as exc:
+            now = time.perf_counter()
+            metrics.record_op("mutate", (now - issued) * 1000.0, now - t0)
+            metrics.record_error(exc.code)
+            continue
+        now = time.perf_counter()
+        metrics.record_op("mutate", (now - issued) * 1000.0, now - t0)
+        state.mutation_log.append((response["version"], request.sql))
+
+
+def _lane_thread(target, connection_factory, args, state: _LaneState):
+    def run() -> None:
+        connection = None
+        try:
+            connection = connection_factory()
+            target(connection, *args, state)
+        except BaseException as exc:  # surfaced after join, not swallowed
+            state.fatal = exc
+        finally:
+            if connection is not None:
+                connection.close()
+
+    return threading.Thread(target=run, daemon=True)
+
+
+# ----------------------------------------------------------------------
+# The run orchestrator
+# ----------------------------------------------------------------------
+@dataclass
+class LoadResult:
+    """Everything a run produced: the report plus its raw ingredients."""
+
+    report: dict
+    trace: Trace
+    metrics: MetricsCollector
+    validation: Optional[ValidationResult]
+
+
+def run_trace(
+    trace: Trace,
+    connection_factory: Callable[[], object],
+    *,
+    mode: str,
+    sample: float = 0.1,
+    initial_db: Optional[Callable[[], object]] = None,
+) -> LoadResult:
+    """Execute a materialized trace and assemble the SLO report.
+
+    ``connection_factory`` is called once per lane (plus once for the
+    run's stats probes).  ``sample`` is the per-page validation sampling
+    probability; validation also needs ``initial_db`` (a zero-argument
+    factory rebuilding the dataset at version 1) and a server whose
+    history starts at version 1 with no writers besides this driver.
+    """
+    probe = connection_factory()
+    try:
+        validation_note = None
+        if sample > 0:
+            if initial_db is None:
+                sample, validation_note = 0.0, "no initial_db factory"
+            else:
+                base = probe.call("stats")["database"]["version"]
+                if base != 1:
+                    sample, validation_note = 0.0, (
+                        f"server already at version {base}; replay needs a "
+                        "pristine history"
+                    )
+
+        states: list[_LaneState] = []
+        threads: list[threading.Thread] = []
+        lanes = max(1, len(trace.query_lanes))
+        budget = max(1, MAX_SAMPLED_PAGES // lanes)
+        t0 = time.perf_counter()
+        for lane, requests in enumerate(trace.query_lanes):
+            state = _LaneState()
+            states.append(state)
+            threads.append(
+                _lane_thread(
+                    _run_query_lane,
+                    connection_factory,
+                    (
+                        requests,
+                        t0,
+                        sample,
+                        random.Random(f"{trace.seed}/sample/{lane}"),
+                        budget,
+                    ),
+                    state,
+                )
+            )
+        if trace.mutation_lane:
+            state = _LaneState()
+            states.append(state)
+            threads.append(
+                _lane_thread(
+                    _run_mutation_lane,
+                    connection_factory,
+                    (trace.mutation_lane, t0),
+                    state,
+                )
+            )
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_s = time.perf_counter() - t0
+        for state in states:
+            if state.fatal is not None:
+                raise state.fatal
+
+        metrics = MetricsCollector()
+        samples: list[SampledPage] = []
+        mutation_log: list[tuple[int, str]] = []
+        for state in states:
+            metrics.merge(state.metrics)
+            samples.extend(state.samples)
+            mutation_log.extend(state.mutation_log)
+
+        validation: Optional[ValidationResult] = None
+        if sample > 0 and initial_db is not None:
+            validation = verify_samples(initial_db, mutation_log, samples)
+            validation_json = validation.to_jsonable()
+        else:
+            validation_json = {
+                "enabled": False,
+                "sampled_pages": 0,
+                "mismatches": 0,
+            }
+            if validation_note:
+                validation_json["disabled_reason"] = validation_note
+
+        stats = probe.call("stats")
+        server = {
+            "op_latency_ms": stats.get("op_latency_ms", {}),
+            "queries": stats.get("queries"),
+            "fetches": stats.get("fetches"),
+            "mutations": stats.get("mutations"),
+            "rows_served": stats.get("rows_served"),
+            "plan_cache": stats.get("plan_cache"),
+            "database_version": (stats.get("database") or {}).get("version"),
+        }
+    finally:
+        probe.close()
+
+    report = build_report(
+        scenario=trace.scenario,
+        seed=trace.seed,
+        duration=trace.duration,
+        clients=trace.clients,
+        mode=mode,
+        trace_sha256=trace.sha256(),
+        query_count=trace.query_count,
+        mutation_count=trace.mutation_count,
+        wall_s=wall_s,
+        metrics=metrics,
+        validation=validation_json,
+        server=server,
+    )
+    return LoadResult(
+        report=report, trace=trace, metrics=metrics, validation=validation
+    )
+
+
+def run_scenario(
+    scenario: "Scenario | str",
+    *,
+    seed: int = 7,
+    duration: float = 5.0,
+    clients: int = 4,
+    mode: str = "inprocess",
+    connect: Optional[tuple[str, int]] = None,
+    sample: float = 0.1,
+    service_options: Optional[dict] = None,
+) -> LoadResult:
+    """Build the trace, stand up (or dial) a server, run, report.
+
+    ``mode="inprocess"`` drives a private :class:`QueryService` directly;
+    ``mode="wire"`` boots an ephemeral in-process TCP server — or, with
+    ``connect=(host, port)``, dials an existing ``repro-serve`` that
+    **must** have been started with the scenario's dataset spec
+    (``Scenario.dataset``) for validation to line up.
+    """
+    if isinstance(scenario, str):
+        try:
+            scenario = SCENARIOS[scenario]
+        except KeyError:
+            known = ", ".join(sorted(SCENARIOS))
+            raise ValueError(
+                f"unknown scenario {scenario!r}; known: {known}"
+            ) from None
+    # Deferred import: repro.server.cli pulls argparse helpers we only
+    # need for the generator-spec parser.
+    from repro.server.cli import parse_generator_spec
+
+    def initial_db():
+        return parse_generator_spec(scenario.dataset)
+
+    trace = build_trace(scenario, seed=seed, duration=duration, clients=clients)
+
+    if mode == "inprocess":
+        from repro.dynamic import VersionedDatabase
+        from repro.server.service import QueryService
+
+        service = QueryService(
+            VersionedDatabase(initial_db(), copy=False),
+            **(service_options or {}),
+        )
+        return run_trace(
+            trace,
+            lambda: InProcessConnection(service),
+            mode=mode,
+            sample=sample,
+            initial_db=initial_db,
+        )
+    if mode != "wire":
+        raise ValueError(f"unknown mode {mode!r}; known: inprocess, wire")
+
+    if connect is not None:
+        host, port = connect
+        return run_trace(
+            trace,
+            lambda: WireConnection(host, port),
+            mode=mode,
+            sample=sample,
+            initial_db=initial_db,
+        )
+
+    from repro.dynamic import VersionedDatabase
+    from repro.server.tcp import serve_background
+
+    server, port = serve_background(
+        VersionedDatabase(initial_db(), copy=False),
+        **(service_options or {}),
+    )
+    try:
+        return run_trace(
+            trace,
+            lambda: WireConnection("127.0.0.1", port),
+            mode=mode,
+            sample=sample,
+            initial_db=initial_db,
+        )
+    finally:
+        server.shutdown()
+        server.server_close()

@@ -1,0 +1,104 @@
+"""Seeded popularity samplers: which template, which parameter value.
+
+Three shapes cover the workloads the serving literature cares about —
+uniform (no skew), Zipfian (power-law popularity, the web default), and
+hotspot (a small hot set absorbing most of the traffic).  All are exact
+inverse-CDF samplers over a *finite* domain, driven by a caller-owned
+``random.Random``, so a seeded trace is reproducible bit-for-bit across
+runs and platforms.
+
+This intentionally differs from :func:`repro.data.generators._zipf_draw`:
+that one approximates a continuous power law to build *data*; these
+build *traffic*, where the domain is small (templates, key spaces) and
+an exact normalized CDF costs nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+
+
+class Sampler:
+    """Draws indices in ``range(n)`` from a fixed distribution."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("sampler domain must have at least one item")
+        self.n = n
+
+    def draw(self, rng: random.Random) -> int:
+        raise NotImplementedError
+
+
+class UniformSampler(Sampler):
+    """Every index equally likely."""
+
+    def draw(self, rng: random.Random) -> int:
+        return rng.randrange(self.n)
+
+
+class ZipfianSampler(Sampler):
+    """Index ``i`` with probability proportional to ``1 / (i+1)**skew``.
+
+    Exact over the finite domain: the normalized CDF is precomputed and
+    a uniform draw is inverted by binary search.  Rank 0 is the most
+    popular item; callers wanting a different hot item permute indices.
+    """
+
+    def __init__(self, n: int, skew: float = 1.1) -> None:
+        super().__init__(n)
+        if skew <= 0:
+            raise ValueError("zipf skew must be positive")
+        self.skew = skew
+        masses = [(i + 1) ** -skew for i in range(n)]
+        total = sum(masses)
+        cdf, acc = [], 0.0
+        for m in masses:
+            acc += m
+            cdf.append(acc / total)
+        cdf[-1] = 1.0  # close the float gap so bisect never overruns
+        self._cdf = cdf
+
+    def draw(self, rng: random.Random) -> int:
+        return bisect_left(self._cdf, rng.random())
+
+
+class HotspotSampler(Sampler):
+    """A hot prefix of the domain gets a fixed share of all draws.
+
+    ``hot_fraction`` of the indices (at least one) receive
+    ``hot_weight`` of the probability mass, uniformly within each of the
+    hot and cold sets — the classic 90/10 access pattern.
+    """
+
+    def __init__(
+        self, n: int, hot_fraction: float = 0.1, hot_weight: float = 0.9
+    ) -> None:
+        super().__init__(n)
+        if not 0 < hot_fraction <= 1 or not 0 < hot_weight < 1:
+            raise ValueError(
+                "hot_fraction must be in (0, 1] and hot_weight in (0, 1)"
+            )
+        self.hot_count = max(1, int(n * hot_fraction))
+        self.hot_weight = hot_weight
+
+    def draw(self, rng: random.Random) -> int:
+        if self.hot_count >= self.n or rng.random() < self.hot_weight:
+            return rng.randrange(self.hot_count)
+        return self.hot_count + rng.randrange(self.n - self.hot_count)
+
+
+#: Popularity-shape name -> factory over a domain size (scenario specs
+#: name these; parenthesized variants are built explicitly).
+def make_sampler(shape: str, n: int) -> Sampler:
+    """Build a sampler from a scenario's popularity-shape name."""
+    if shape == "uniform":
+        return UniformSampler(n)
+    if shape == "zipf":
+        return ZipfianSampler(n)
+    if shape == "hotspot":
+        return HotspotSampler(n)
+    raise ValueError(
+        f"unknown popularity shape {shape!r}; known: uniform, zipf, hotspot"
+    )

@@ -1,0 +1,413 @@
+"""Scenario models: template pools, parameter samplers, mutation mixes.
+
+A :class:`Scenario` is everything about a workload *except* the server
+it runs against: the dataset spec (a ``repro-serve --gen`` generator
+string, so a separately booted server can load the identical data), a
+pool of SQL query templates with a popularity shape over them, per
+template parameter samplers, a mutation mix, and the arrival processes
+for the query lanes and the mutation lane.
+
+:func:`build_trace` materializes a scenario into a :class:`Trace` — the
+full per-lane request schedule — **before execution**, as a pure
+function of ``(scenario, seed, duration, clients)``.  Two runs with the
+same arguments therefore issue the same templates with the same
+parameters in the same per-lane order, and the same mutations in the
+same global order (all mutations ride a single dedicated lane so their
+commit order is the trace order even under concurrency).  The trace
+hashes to a stable sha256 the SLO report embeds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.workload.arrival import (
+    ArrivalProcess,
+    BurstyOnOff,
+    ClosedLoop,
+    OpenLoopPoisson,
+)
+from repro.workload.sampling import ZipfianSampler, make_sampler
+
+
+# ----------------------------------------------------------------------
+# Parameter specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IntParam:
+    """An integer parameter in ``[lo, hi]``; ``skew > 0`` draws it
+    Zipf-skewed toward ``lo`` (hot keys), otherwise uniformly."""
+
+    lo: int
+    hi: int
+    skew: float = 0.0
+
+    def draw(self, rng: random.Random, sampler_cache: dict) -> int:
+        span = self.hi - self.lo + 1
+        if self.skew <= 0:
+            return self.lo + rng.randrange(span)
+        sampler = sampler_cache.get(self)
+        if sampler is None:
+            sampler = sampler_cache[self] = ZipfianSampler(span, self.skew)
+        return self.lo + sampler.draw(rng)
+
+
+@dataclass(frozen=True)
+class FloatParam:
+    """A uniform float parameter in ``[lo, hi)``, rounded for stable
+    SQL text (the trace is compared textually across runs)."""
+
+    lo: float
+    hi: float
+    digits: int = 6
+
+    def draw(self, rng: random.Random, sampler_cache: dict) -> float:
+        return round(rng.uniform(self.lo, self.hi), self.digits)
+
+
+ParamSpec = Union[IntParam, FloatParam]
+
+
+# ----------------------------------------------------------------------
+# Templates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SqlTemplate:
+    """A named ``str.format`` SQL template with per-placeholder samplers."""
+
+    name: str
+    sql: str
+    params: tuple[tuple[str, ParamSpec], ...] = ()
+
+    def instantiate(self, rng: random.Random, sampler_cache: dict) -> str:
+        values = {
+            name: spec.draw(rng, sampler_cache) for name, spec in self.params
+        }
+        return self.sql.format(**values)
+
+
+@dataclass(frozen=True)
+class QueryTemplate(SqlTemplate):
+    """One query statement in the pool.  ``batch`` is the page size the
+    driver uses when draining the cursor (prefetch rides the query
+    response, further pages are explicit ``fetch`` round trips)."""
+
+    batch: int = 10
+
+
+@dataclass(frozen=True)
+class MutationTemplate(SqlTemplate):
+    """One INSERT/DELETE statement in the mutation mix.  ``weight`` is
+    the template's share within the mix (relative, not normalized)."""
+
+    weight: float = 1.0
+
+
+# ----------------------------------------------------------------------
+# Requests, traces, scenarios
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Request:
+    """One scheduled operation: what to send and (optionally) when.
+
+    ``offset_s`` is seconds after the run's t0; ``None`` means "as soon
+    as the previous request on this lane completes" (closed loop).
+    """
+
+    kind: str  # "query" | "mutate"
+    template: str
+    sql: str
+    batch: int = 10
+    offset_s: Optional[float] = None
+
+    def to_jsonable(self) -> dict:
+        out = {"kind": self.kind, "template": self.template, "sql": self.sql}
+        if self.kind == "query":
+            out["batch"] = self.batch
+        if self.offset_s is not None:
+            out["offset_s"] = round(self.offset_s, 6)
+        return out
+
+
+@dataclass
+class Trace:
+    """The fully materialized request schedule for one run."""
+
+    scenario: str
+    seed: int
+    duration: float
+    clients: int
+    query_lanes: list[list[Request]]
+    mutation_lane: list[Request]
+
+    @property
+    def query_count(self) -> int:
+        return sum(len(lane) for lane in self.query_lanes)
+
+    @property
+    def mutation_count(self) -> int:
+        return len(self.mutation_lane)
+
+    def to_jsonable(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "duration": self.duration,
+            "clients": self.clients,
+            "query_lanes": [
+                [request.to_jsonable() for request in lane]
+                for lane in self.query_lanes
+            ],
+            "mutation_lane": [
+                request.to_jsonable() for request in self.mutation_lane
+            ],
+        }
+
+    def sha256(self) -> str:
+        """A stable digest of the whole schedule (the determinism
+        receipt the SLO report carries)."""
+        canonical = json.dumps(
+            self.to_jsonable(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, self-contained workload description."""
+
+    name: str
+    description: str
+    #: ``repro-serve --gen`` spec of the dataset this scenario queries;
+    #: the load generator and a separately booted server both build it,
+    #: which is what makes wire-mode validation possible.
+    dataset: str
+    templates: tuple[QueryTemplate, ...]
+    #: Popularity shape over the template pool: uniform | zipf | hotspot.
+    popularity: str = "zipf"
+    arrival: ArrivalProcess = field(default_factory=ClosedLoop)
+    #: Mutations per second on the dedicated mutation lane (0 = read-only).
+    mutation_rate: float = 0.0
+    mutations: tuple[MutationTemplate, ...] = ()
+
+    def summary(self) -> dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "dataset": self.dataset,
+            "templates": [t.name for t in self.templates],
+            "popularity": self.popularity,
+            "arrival": self.arrival.describe(),
+            "mutation_rate": self.mutation_rate,
+        }
+
+
+def _lane_rng(seed: int, scenario: str, lane: str) -> random.Random:
+    # String seeding hashes with sha512 inside random.Random — stable
+    # across processes and platforms, unlike hash()-based seeding.
+    return random.Random(f"{seed}/{scenario}/{lane}")
+
+
+def build_trace(
+    scenario: Scenario,
+    seed: int,
+    duration: float,
+    clients: int,
+) -> Trace:
+    """Materialize the full schedule — a pure function of its arguments.
+
+    Each query lane and the mutation lane get independent rng streams
+    derived from ``(seed, scenario, lane)``, so lane k's requests do not
+    change when another lane's schedule grows.
+    """
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    sampler_cache: dict = {}
+    query_lanes: list[list[Request]] = []
+    for lane in range(clients):
+        rng = _lane_rng(seed, scenario.name, f"q{lane}")
+        popularity = make_sampler(scenario.popularity, len(scenario.templates))
+        offsets = scenario.arrival.lane_offsets(rng, duration, clients)
+        requests = []
+        for offset in offsets:
+            template = scenario.templates[popularity.draw(rng)]
+            requests.append(
+                Request(
+                    kind="query",
+                    template=template.name,
+                    sql=template.instantiate(rng, sampler_cache),
+                    batch=template.batch,
+                    offset_s=offset,
+                )
+            )
+        query_lanes.append(requests)
+
+    mutation_lane: list[Request] = []
+    if scenario.mutation_rate > 0 and scenario.mutations:
+        rng = _lane_rng(seed, scenario.name, "mut")
+        offsets = OpenLoopPoisson(scenario.mutation_rate).lane_offsets(
+            rng, duration, 1
+        )
+        weights = [m.weight for m in scenario.mutations]
+        for offset in offsets:
+            template = rng.choices(scenario.mutations, weights=weights)[0]
+            mutation_lane.append(
+                Request(
+                    kind="mutate",
+                    template=template.name,
+                    sql=template.instantiate(rng, sampler_cache),
+                    offset_s=offset,
+                )
+            )
+
+    return Trace(
+        scenario=scenario.name,
+        seed=seed,
+        duration=duration,
+        clients=clients,
+        query_lanes=query_lanes,
+        mutation_lane=mutation_lane,
+    )
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios
+# ----------------------------------------------------------------------
+#: All built-ins query the same 3-hop path dataset: R1(A1,A2) ⋈ R2(A2,A3)
+#: ⋈ R3(A3,A4), 400 weighted tuples each over a 50-value domain.  The
+#: spec string is what a separately booted server must pass to
+#: ``repro-serve --gen`` for wire-mode validation to line up.
+PATH_DATASET = "path:length=3,size=400,domain=50,seed=13"
+
+_K_SMALL = IntParam(5, 25)
+_KEY = IntParam(0, 49, skew=1.1)  # hot join keys, Zipf toward 0
+
+_PATH_TEMPLATES = (
+    QueryTemplate(
+        name="pair-topk",
+        sql=(
+            "SELECT * FROM R1 JOIN R2 ON R1.A2 = R2.A2 "
+            "ORDER BY weight LIMIT {k}"
+        ),
+        params=(("k", IntParam(5, 40)),),
+        batch=15,
+    ),
+    QueryTemplate(
+        name="triple-topk",
+        sql=(
+            "SELECT * FROM R1 JOIN R2 ON R1.A2 = R2.A2 "
+            "JOIN R3 ON R2.A3 = R3.A3 ORDER BY weight LIMIT {k}"
+        ),
+        params=(("k", _K_SMALL),),
+        batch=10,
+    ),
+    QueryTemplate(
+        name="point-filter",
+        sql=(
+            "SELECT * FROM R1 JOIN R2 ON R1.A2 = R2.A2 "
+            "WHERE R1.A1 = {v} ORDER BY weight LIMIT {k}"
+        ),
+        params=(("v", _KEY), ("k", _K_SMALL)),
+        batch=10,
+    ),
+    QueryTemplate(
+        name="heavy-pairs",
+        sql=(
+            "SELECT * FROM R1 JOIN R2 ON R1.A2 = R2.A2 "
+            "ORDER BY weight DESC LIMIT {k}"
+        ),
+        params=(("k", _K_SMALL),),
+        batch=10,
+    ),
+    QueryTemplate(
+        name="point-scan",
+        sql="SELECT * FROM R2 WHERE R2.A2 = {v} ORDER BY weight LIMIT {k}",
+        params=(("v", _KEY), ("k", _K_SMALL)),
+        batch=10,
+    ),
+)
+
+_WEIGHT = FloatParam(0.0, 1.0)
+
+_PATH_MUTATIONS = (
+    MutationTemplate(
+        name="insert-R1",
+        sql="INSERT INTO R1 (A1, A2, weight) VALUES ({a}, {b}, {w})",
+        params=(("a", _KEY), ("b", _KEY), ("w", _WEIGHT)),
+        weight=2.0,
+    ),
+    MutationTemplate(
+        name="insert-R3",
+        sql="INSERT INTO R3 (A3, A4, weight) VALUES ({a}, {b}, {w})",
+        params=(("a", _KEY), ("b", _KEY), ("w", _WEIGHT)),
+        weight=2.0,
+    ),
+    MutationTemplate(
+        name="delete-R1-pair",
+        sql="DELETE FROM R1 WHERE A1 = {a} AND A2 = {b}",
+        params=(("a", _KEY), ("b", _KEY)),
+        weight=1.0,
+    ),
+    MutationTemplate(
+        name="delete-R3-pair",
+        sql="DELETE FROM R3 WHERE A3 = {a} AND A4 = {b}",
+        params=(("a", _KEY), ("b", _KEY)),
+        weight=1.0,
+    ),
+)
+
+
+#: The built-in scenario registry (``repro-loadgen --scenario NAME``).
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            name="read-only",
+            description="Closed-loop clients hammering the query pool; "
+            "no writes — the pure-engine baseline.",
+            dataset=PATH_DATASET,
+            templates=_PATH_TEMPLATES,
+            popularity="zipf",
+            arrival=ClosedLoop(ops_per_client_s=20.0),
+        ),
+        Scenario(
+            name="read-mostly",
+            description="Open-loop Poisson queries with a trickle of "
+            "inserts/deletes — the steady-state serving mix.",
+            dataset=PATH_DATASET,
+            templates=_PATH_TEMPLATES,
+            popularity="zipf",
+            arrival=OpenLoopPoisson(rate=60.0),
+            mutation_rate=3.0,
+            mutations=_PATH_MUTATIONS,
+        ),
+        Scenario(
+            name="churn",
+            description="Heavy mutation churn under open-loop queries — "
+            "exercises snapshot pinning and cache invalidation.",
+            dataset=PATH_DATASET,
+            templates=_PATH_TEMPLATES,
+            popularity="hotspot",
+            arrival=OpenLoopPoisson(rate=40.0),
+            mutation_rate=12.0,
+            mutations=_PATH_MUTATIONS,
+        ),
+        Scenario(
+            name="bursty",
+            description="On/off bursts (150 op/s for 1s, 10 op/s for 2s) "
+            "with light mutations — tail-latency under spikes.",
+            dataset=PATH_DATASET,
+            templates=_PATH_TEMPLATES,
+            popularity="zipf",
+            arrival=BurstyOnOff(on_rate=150.0, off_rate=10.0, on_s=1.0, off_s=2.0),
+            mutation_rate=2.0,
+            mutations=_PATH_MUTATIONS,
+        ),
+    )
+}

@@ -1,0 +1,158 @@
+"""Validation under load: replay sampled pages against a serial recompute.
+
+Load tests double as correctness tests for the session/parallel/dynamic
+layers: the driver samples a fraction of the pages it receives and,
+after the run, replays each against a **fresh serial recompute on the
+cursor's pinned snapshot**.
+
+The replay works because every moving part is pinned or deterministic:
+
+- the ``query`` response reports the snapshot ``version`` the cursor is
+  pinned to, and snapshot isolation guarantees every later page drains
+  that exact generation;
+- all mutations ride the driver's single mutation lane, so the
+  ``mutate`` responses' version ids enumerate the server's commit
+  history 2, 3, … completely and in order — a shadow
+  :class:`~repro.dynamic.VersionedDatabase` built from the scenario's
+  dataset spec can reconstruct *any* version by replaying that prefix;
+- ranked streams are deterministic across engines, worker counts, and
+  pause/resume boundaries (tie-stabilized ordering, PR 3), so the
+  serial recompute must agree **positionally**, page offset by page
+  offset, not just as a set.
+
+A mismatch therefore isolates a real bug in cursor resumption, shard
+merging, snapshot pinning, or cache invalidation — under genuine
+concurrency, which is exactly where those bugs live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import repro.sql
+from repro.data.database import Database
+from repro.dynamic import VersionedDatabase
+from repro.util.lru import LruCache
+
+
+@dataclass(frozen=True)
+class SampledPage:
+    """One page the driver kept for replay."""
+
+    sql: str
+    version: int  # snapshot generation the cursor was pinned to
+    offset: int  # rows already emitted by this cursor before the page
+    rows: tuple  # normalized ((row, weight), ...) as received
+
+
+@dataclass
+class Mismatch:
+    sql: str
+    version: int
+    offset: int
+    detail: str
+
+
+def normalize_page(rows) -> tuple:
+    """Wire/in-process ``[[row, weight], ...]`` pages into comparable
+    ``((row_tuple, weight), ...)`` — weights rounded so a JSON float
+    round trip can never manufacture a mismatch."""
+    out = []
+    for row, weight in rows:
+        if isinstance(weight, (list, tuple)):
+            weight = tuple(round(float(w), 9) for w in weight)
+        else:
+            weight = round(float(weight), 9)
+        out.append((tuple(row), weight))
+    return tuple(out)
+
+
+@dataclass
+class ValidationResult:
+    sampled_pages: int = 0
+    checked: int = 0
+    unverifiable: int = 0
+    mismatches: list = field(default_factory=list)
+
+    def to_jsonable(self) -> dict:
+        return {
+            "enabled": True,
+            "sampled_pages": self.sampled_pages,
+            "checked": self.checked,
+            "unverifiable": self.unverifiable,
+            "mismatches": len(self.mismatches),
+            "first_mismatches": [
+                {
+                    "sql": m.sql,
+                    "version": m.version,
+                    "offset": m.offset,
+                    "detail": m.detail,
+                }
+                for m in self.mismatches[:5]
+            ],
+        }
+
+
+def verify_samples(
+    initial_db: Callable[[], Database],
+    mutation_log: list[tuple[int, str]],
+    samples: list[SampledPage],
+    recompute_cache: int = 256,
+) -> ValidationResult:
+    """Replay ``samples`` against serial recomputes on a shadow database.
+
+    ``initial_db`` builds a pristine copy of the dataset the server
+    started from (version 1); ``mutation_log`` is the driver's record of
+    ``(committed_version, sql)`` from its ``mutate`` responses.  Samples
+    are checked in version order so the shadow only ever rolls forward.
+    """
+    result = ValidationResult(sampled_pages=len(samples))
+    if not samples:
+        return result
+    shadow = VersionedDatabase(initial_db(), copy=False)
+    pending = sorted(mutation_log)
+    applied = 0
+    # Bounded by the shared LRU (also backing the plan/stats caches):
+    # each recompute is a full ranked-query execution, so hot
+    # (version, sql) keys must survive cache pressure.
+    expected_cache = LruCache(recompute_cache)
+    for sample in sorted(samples, key=lambda s: s.version):
+        # Roll the shadow forward to the sample's generation.
+        while shadow.version < sample.version and applied < len(pending):
+            version, sql = pending[applied]
+            if version != shadow.version + 1:
+                break  # a gap: someone else mutated the server
+            repro.sql.mutate(shadow, sql)
+            applied += 1
+        if shadow.version != sample.version:
+            result.unverifiable += 1
+            continue
+        key = (sample.version, sample.sql)
+        expected = expected_cache.get(key)
+        if expected is None:
+            expected = normalize_page(
+                repro.sql.query(shadow.snapshot(), sample.sql).fetchall()
+            )
+            expected_cache.put(key, expected)
+        result.checked += 1
+        want = expected[sample.offset : sample.offset + len(sample.rows)]
+        if want != sample.rows:
+            result.mismatches.append(
+                Mismatch(
+                    sql=sample.sql,
+                    version=sample.version,
+                    offset=sample.offset,
+                    detail=_first_divergence(want, sample.rows),
+                )
+            )
+    return result
+
+
+def _first_divergence(want: tuple, got: tuple) -> str:
+    if len(want) != len(got):
+        return f"page length: recompute={len(want)} observed={len(got)}"
+    for i, (w, g) in enumerate(zip(want, got)):
+        if w != g:
+            return f"row {i}: recompute={w!r} observed={g!r}"
+    return "pages differ"  # pragma: no cover - guarded by != above
