@@ -1,0 +1,178 @@
+"""E23: the profiler audits itself — in-engine vs external anytime metrics.
+
+The observability layer (:mod:`repro.obs.delay`) measures TTF / TT(k) /
+inter-result delay *inside* the engine; the load harness
+(:mod:`repro.workload.metrics`) measures the same quantities from the
+*outside*, wall-clock around the whole call.  If the profiler is honest,
+the two views of one run must nest: in-engine TTF can never exceed the
+external TTFR (which also pays parse + analyze + routing), and the gap
+between them *is* the compilation overhead — per engine, a number this
+bench makes visible instead of folklore.
+
+Every run drives both instruments over the *same* enumeration: the
+external :class:`MetricsCollector` clock starts before parsing (exactly
+where the workload driver starts it), the in-engine profile starts at
+the first pull.  The cross-check asserts, per engine:
+
+- ``in-engine TTF  <= external TTFR`` (within clock-noise tolerance);
+- ``in-engine TT(k) <= external TT(k)`` and within a generous lower
+  band of it (the profiler must account for the bulk of a long
+  enumeration — if it misses most of the wall time, it is broken).
+
+Writes ``BENCH_obs.json`` — both views, per engine, machine-readable.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_e23_obs.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import print_table  # noqa: E402
+
+import repro.sql  # noqa: E402
+from repro.data.generators import path_database  # noqa: E402
+from repro.engine.executor import execute  # noqa: E402
+from repro.engine.planner import plan_compiled  # noqa: E402
+from repro.obs import DelayProfile  # noqa: E402
+from repro.workload.metrics import MetricsCollector  # noqa: E402
+
+SEED = 7
+K = 1000
+REPEATS = 5
+ENGINES = ("part:lazy", "rec", "batch", "rank_join")
+SQL = (
+    "SELECT * FROM R1 JOIN R2 ON R1.A2 = R2.A2 JOIN R3 ON R2.A3 = R3.A3 "
+    f"ORDER BY weight LIMIT {K}"
+)
+
+#: Clock-noise slack for the one-sided "in-engine <= external" checks.
+SLACK_MS = 0.5
+#: The profiler must see at least this fraction of the external TT(k)
+#: wall time on a K-row enumeration (compilation is the rest).
+FLOOR = 0.10
+
+
+def measure(db, engine: str) -> tuple[DelayProfile, MetricsCollector, int]:
+    """REPEATS runs of one engine, both instruments on the same stream."""
+    profile = DelayProfile(engine=engine)
+    collector = MetricsCollector()
+    rows = 0
+    for _ in range(REPEATS):
+        # One profile per run, merged afterwards — a profile's TTF/TT(k)
+        # wall clock belongs to a single stream (the per-cursor
+        # discipline the query service follows).
+        run_profile = DelayProfile(engine=engine)
+        t0 = time.perf_counter()
+        compiled = repro.sql.analyze(db, SQL)
+        plan = plan_compiled(db, compiled, engine=engine)
+        first_ms = None
+        rows = 0
+        for _ in execute(db, compiled, plan, profile=run_profile):
+            if first_ms is None:
+                first_ms = (time.perf_counter() - t0) * 1000.0
+                collector.record_ttfr(first_ms)
+            rows += 1
+        collector.record_ttk((time.perf_counter() - t0) * 1000.0)
+        collector.record_rows(rows)
+        profile.merge(run_profile)
+    return profile, collector, rows
+
+
+def main() -> None:
+    db = path_database(length=3, size=300, domain=40, seed=SEED)
+    table_rows = []
+    report: dict = {
+        "seed": SEED,
+        "sql": SQL,
+        "k": K,
+        "repeats": REPEATS,
+        "engines": {},
+    }
+    for engine in ENGINES:
+        profile, collector, rows = measure(db, engine)
+        summary = profile.summary()
+        in_ttf = summary["ttf_ms"]["mean_ms"]
+        ttk_key = str(max(int(k) for k in summary["ttk_ms"]))
+        in_ttk = summary["ttk_ms"][ttk_key]["mean_ms"]
+        ext_ttfr = collector.ttfr.summary()["mean_ms"]
+        ext_ttk = collector.ttk.summary()["mean_ms"]
+
+        # The cross-check: the two instruments watched the same runs.
+        assert summary["results"] == rows * REPEATS, (engine, summary)
+        assert in_ttf <= ext_ttfr + SLACK_MS, (
+            f"{engine}: in-engine TTF {in_ttf:.3f} ms exceeds external "
+            f"TTFR {ext_ttfr:.3f} ms — the profiler is charging time the "
+            "caller never waited"
+        )
+        assert in_ttk <= ext_ttk + SLACK_MS, (
+            f"{engine}: in-engine TT({ttk_key}) {in_ttk:.3f} ms exceeds "
+            f"external {ext_ttk:.3f} ms"
+        )
+        assert in_ttk >= FLOOR * ext_ttk - SLACK_MS, (
+            f"{engine}: in-engine TT({ttk_key}) {in_ttk:.3f} ms misses "
+            f"most of the external {ext_ttk:.3f} ms wall time"
+        )
+
+        delay = summary["delay_ms"]
+        table_rows.append(
+            (
+                engine,
+                rows,
+                in_ttf,
+                ext_ttfr,
+                in_ttk,
+                ext_ttk,
+                ext_ttk - in_ttk,
+                delay["p50_ms"],
+                delay["p99_ms"],
+            )
+        )
+        report["engines"][engine] = {
+            "rows_per_run": rows,
+            "in_engine": summary,
+            "external": {
+                "ttfr_ms": collector.ttfr.summary(),
+                "ttk_ms": collector.ttk.summary(),
+                "rows": collector.rows,
+            },
+            "compile_overhead_ms": round(ext_ttk - in_ttk, 4),
+        }
+
+    print_table(
+        f"E23: in-engine vs external anytime metrics "
+        f"(seed {SEED}, k={K}, mean of {REPEATS} runs, ms)",
+        (
+            "engine",
+            "rows",
+            "ttf in",
+            "ttfr ext",
+            f"tt(k) in",
+            f"tt(k) ext",
+            "compile",
+            "delay p50",
+            "delay p99",
+        ),
+        table_rows,
+    )
+    print(
+        "\nBoth instruments watched the same runs: in-engine <= external "
+        "held for every engine; the 'compile' column is parse+analyze+plan."
+    )
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+    with out.open("w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"profiler cross-check report written to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,14 +5,16 @@ with open("README.md", encoding="utf-8") as handle:
 
 setup(
     name="repro-anyk",
-    version="1.5.0",
+    version="1.6.0",
     description=(
         "Optimal joins meet top-k: ranked (any-k) enumeration for "
         "conjunctive queries, with a SQL front-end, cost-based engine "
         "router, partition-parallel sharded execution, a concurrent "
         "query server with resumable snapshot-isolated cursors over "
-        "versioned dynamic data, and a seeded load-generation/SLO "
-        "harness (reproduction of Tziavelis, "
+        "versioned dynamic data, a seeded load-generation/SLO "
+        "harness, and end-to-end observability (tracing, a unified "
+        "metrics registry, in-engine anytime-delay profiles, EXPLAIN "
+        "ANALYZE) (reproduction of Tziavelis, "
         "Gatterbauer, Riedewald, SIGMOD 2020)"
     ),
     long_description=LONG_DESCRIPTION,
@@ -34,6 +36,7 @@ setup(
             "repro-sql = repro.sql.cli:main",
             "repro-serve = repro.server.cli:main",
             "repro-loadgen = repro.workload.cli:main",
+            "repro-obs = repro.obs.cli:main",
         ],
     },
     classifiers=[

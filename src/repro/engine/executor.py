@@ -27,6 +27,7 @@ from repro.util.counters import Counters
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.dynamic import MutationResult, VersionedDatabase
+    from repro.obs.delay import DelayProfile
     from repro.sql.analyzer import CompiledMutation, CompiledQuery
 
 
@@ -148,65 +149,87 @@ def execute(
     compiled: "CompiledQuery",
     plan: Plan,
     counters: Optional[Counters] = None,
+    profile: Optional["DelayProfile"] = None,
 ) -> Iterator[tuple[tuple, Any]]:
     """Run ``plan`` for ``compiled`` over ``db``.
 
     Yields ``(row, weight)`` with ``row`` following
     ``compiled.output_columns`` and ``weight`` in the ranking's carrier
     (sign-corrected for DESC).
+
+    ``profile`` (a :class:`repro.obs.delay.DelayProfile`) measures the
+    engine stream as it drains: per-result delay, TTF, TT(k), and — for
+    parallel plans — per-shard worker attribution folded back across
+    the process boundary.  ``None`` (the default) adds zero per-result
+    cost.  The setup work (DESC negation, shard materialization) lands
+    in a tracer span when the process tracer is enabled, parented to
+    whichever request span is current at the first pull.
     """
-    if plan.working_db is not None and plan.working_cq is not None:
-        # plan_compiled already materialized the filtered instance (and
-        # costed the plan on it) — don't rebuild it.  It defers the DESC
-        # negation to us, since only enumeration needs it.
-        working, cq = plan.working_db, plan.working_cq
-        if compiled.descending:
-            working = negated_database(
-                working, only={a.relation for a in cq.atoms}
+    from repro.obs.trace import tracer
+
+    with tracer.span(
+        "execute.setup", engine=plan.engine, workers=plan.workers
+    ):
+        if plan.working_db is not None and plan.working_cq is not None:
+            # plan_compiled already materialized the filtered instance (and
+            # costed the plan on it) — don't rebuild it.  It defers the DESC
+            # negation to us, since only enumeration needs it.
+            working, cq = plan.working_db, plan.working_cq
+            if compiled.descending:
+                working = negated_database(
+                    working, only={a.relation for a in cq.atoms}
+                )
+        else:
+            working, cq = filtered_database(db, compiled)
+        k = compiled.k
+
+        if profile is not None and not profile.engine:
+            profile.engine = plan.engine
+
+        if plan.workers > 1:
+            # The router already vetted shardability and picked the shard
+            # attribute; honor its decision verbatim (covers the HRJN
+            # middleware too — workers run it per shard like any engine).
+            from repro.parallel import parallel_rank_enumerate
+
+            stream: Iterator[tuple[tuple, Any]] = parallel_rank_enumerate(
+                working,
+                cq,
+                ranking=compiled.ranking,
+                method=plan.engine,
+                k=k,
+                counters=counters,
+                workers=plan.workers,
+                shard_variable=plan.shard_variable,
+                policy=plan.shard_policy,
+                profile=profile,
             )
-    else:
-        working, cq = filtered_database(db, compiled)
-    k = compiled.k
+        elif plan.engine == "rank_join":
+            # The same lift+stabilize+truncate adapter shard workers run,
+            # in-process (one definition, serial and parallel can't drift).
+            from repro.parallel.workers import shard_stream
 
-    if plan.workers > 1:
-        # The router already vetted shardability and picked the shard
-        # attribute; honor its decision verbatim (covers the HRJN
-        # middleware too — workers run it per shard like any engine).
-        from repro.parallel import parallel_rank_enumerate
-
-        stream: Iterator[tuple[tuple, Any]] = parallel_rank_enumerate(
-            working,
-            cq,
-            ranking=compiled.ranking,
-            method=plan.engine,
-            k=k,
-            counters=counters,
-            workers=plan.workers,
-            shard_variable=plan.shard_variable,
-            policy=plan.shard_policy,
-        )
-    elif plan.engine == "rank_join":
-        # The same lift+stabilize+truncate adapter shard workers run,
-        # in-process (one definition, serial and parallel can't drift).
-        from repro.parallel.workers import shard_stream
-
-        stream = shard_stream(
-            working,
-            cq,
-            ranking=compiled.ranking,
-            method="rank_join",
-            k=k,
-            counters=counters,
-        )
-    else:
-        stream = rank_enumerate(
-            working,
-            cq,
-            ranking=compiled.ranking,
-            method=plan.engine,
-            k=k,
-            counters=counters,
-        )
+            stream = shard_stream(
+                working,
+                cq,
+                ranking=compiled.ranking,
+                method="rank_join",
+                k=k,
+                counters=counters,
+            )
+            if profile is not None:
+                stream = profile.wrap(stream)
+        else:
+            stream = rank_enumerate(
+                working,
+                cq,
+                ranking=compiled.ranking,
+                method=plan.engine,
+                k=k,
+                counters=counters,
+            )
+            if profile is not None:
+                stream = profile.wrap(stream)
 
     positions = compiled.output_positions
     identity = positions == tuple(range(len(cq.variables)))

@@ -1,0 +1,55 @@
+"""repro.obs — end-to-end observability for the any-k stack.
+
+Four pieces, one per module:
+
+- :mod:`repro.obs.trace` — lightweight span tracing around the request
+  pipeline (parse → plan → cache lookup → shard/enumerate → merge →
+  page fetch), with a bounded ring buffer of recent traces and
+  near-zero cost while disabled.
+- :mod:`repro.obs.registry` — the process-wide metrics registry
+  (counters, gauges, histograms) with Prometheus-text and JSON
+  exporters, unifying the RAM-model :class:`~repro.util.counters.Counters`
+  and the workload histograms behind one model.
+- :mod:`repro.obs.delay` — the anytime-delay profiler: per-cursor
+  inter-result delay, TTF, and TT(k) histograms recorded *inside* the
+  engines (PART/REC/batch/HRJN and the parallel merge), with worker
+  snapshots folded back across process boundaries.
+- :mod:`repro.obs.analyze` — ``EXPLAIN ANALYZE``: run the statement and
+  report per-stage/per-operator wall time, tuples produced, cache and
+  shard attribution, and the delay profile.
+
+The server (:mod:`repro.server`) exposes all of it on the wire:
+``metrics`` and ``trace`` ops, ``trace_id`` echoed on every response,
+and the ``repro-obs`` CLI (:mod:`repro.obs.cli`) to snapshot or tail a
+running ``repro-serve``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.analyze import build_report, render_analyze, run_analyze
+from repro.obs.delay import DELAY_BOUNDS, TTK_CHECKPOINTS, DelayProfile
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    Tracer,
+    new_trace_id,
+    render_trace_tree,
+    tracer,
+)
+
+__all__ = [
+    "DELAY_BOUNDS",
+    "DelayProfile",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "TTK_CHECKPOINTS",
+    "Tracer",
+    "build_report",
+    "new_trace_id",
+    "render_analyze",
+    "render_trace_tree",
+    "run_analyze",
+    "tracer",
+]

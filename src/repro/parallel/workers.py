@@ -17,9 +17,15 @@ generator, e.g. a server cursor being evicted) terminates the pool.
 
 RAM-model accounting: each worker counts into a private
 :class:`~repro.util.counters.Counters` and ships the snapshot in its
-final ``("done", snapshot)`` frame; the parent folds finished workers'
-snapshots into the caller's counters, so a drained parallel run reports
-the same kind of totals a serial run does.
+final ``("done", {"counters": ..., "delay": ...})`` frame; the parent
+folds finished workers' snapshots into the caller's counters, so a
+drained parallel run reports the same kind of totals a serial run does.
+When the caller passes a :class:`~repro.obs.delay.DelayProfile`, each
+worker additionally profiles its own shard stream (TTF / TT(k) /
+inter-result delay as seen *inside* the worker, no IPC on that path)
+and the parent files the returned snapshots under ``profile.shards`` —
+attribution, not aggregation, so the parent's own measurement of the
+merged stream is never double counted.
 """
 
 from __future__ import annotations
@@ -29,7 +35,7 @@ import itertools
 import multiprocessing
 import queue as queue_module
 import threading
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator, Optional, TYPE_CHECKING
 
 from repro.anyk.ranking import (
     RankingFunction,
@@ -42,6 +48,9 @@ from repro.parallel.merge import merge_ranked_streams
 from repro.parallel.sharding import Shard, ShardingSpec, shard_database
 from repro.query.cq import ConjunctiveQuery
 from repro.util.counters import Counters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs.delay import DelayProfile
 
 #: Results per queue frame (amortizes pickling + IPC per result).
 DEFAULT_CHUNK_SIZE = 128
@@ -141,6 +150,7 @@ def _worker_main(
     method: str,
     k: Optional[int],
     chunk_size: int,
+    profile_delay: bool = False,
 ) -> None:
     """Worker entry point (module-level so spawn contexts can import it)."""
     counters = Counters()
@@ -149,6 +159,12 @@ def _worker_main(
         stream = shard_stream(
             db, query, ranking=ranking, method=method, k=k, counters=counters
         )
+        profile = None
+        if profile_delay:
+            from repro.obs.delay import DelayProfile
+
+            profile = DelayProfile(engine=method)
+            stream = profile.wrap(stream)
         chunk: list[tuple[tuple, Any]] = []
         for item in stream:
             chunk.append(item)
@@ -157,7 +173,15 @@ def _worker_main(
                 chunk = []
         if chunk:
             out_queue.put(("rows", chunk))
-        out_queue.put(("done", counters.snapshot()))
+        out_queue.put(
+            (
+                "done",
+                {
+                    "counters": counters.snapshot(),
+                    "delay": None if profile is None else profile.snapshot(),
+                },
+            )
+        )
     except BaseException as exc:  # ship the failure; never hang the parent
         try:
             out_queue.put(("error", f"{type(exc).__name__}: {exc}"))
@@ -188,6 +212,7 @@ class _ShardFeed:
         k: Optional[int],
         chunk_size: int,
         counters: Optional[Counters],
+        profile: Optional["DelayProfile"] = None,
     ) -> None:
         self._queue = context.Queue(maxsize=QUEUE_DEPTH)
         self._process = context.Process(
@@ -200,15 +225,31 @@ class _ShardFeed:
                 method,
                 k,
                 chunk_size,
+                profile is not None,
             ),
             daemon=True,
         )
         self._shard_index = shard.index
         self._counters = counters
+        self._profile = profile
         self._finished = False
 
     def start(self) -> None:
         self._process.start()
+
+    def _fold_done(self, payload: dict) -> None:
+        """Fold a worker's final frame into the caller-side aggregates."""
+        self._finished = True
+        if self._counters is not None:
+            _merge_snapshot(self._counters, payload["counters"])
+        delay = payload.get("delay")
+        if self._profile is not None and delay is not None:
+            # Attribution only: the parent measures the merged stream
+            # itself, so worker measurements are filed per shard rather
+            # than folded into the parent's own histograms (which would
+            # double count every result).
+            delay["shard"] = self._shard_index
+            self._profile.shards.append(delay)
 
     def __iter__(self) -> Iterator[tuple[tuple, Any]]:
         while True:
@@ -230,9 +271,7 @@ class _ShardFeed:
             if kind == "rows":
                 yield from payload
             elif kind == "done":
-                self._finished = True
-                if self._counters is not None:
-                    _merge_snapshot(self._counters, payload)
+                self._fold_done(payload)
                 self._process.join()
                 return
             else:  # "error"
@@ -244,7 +283,7 @@ class _ShardFeed:
         """Stop the worker (idempotent; used for early termination too).
 
         Before terminating, opportunistically drain queued frames for a
-        ``("done", snapshot)``: a worker whose whole output fit in the
+        ``("done", ...)`` frame: a worker whose whole output fit in the
         queue has already finished, and its RAM-model work should land
         in the caller's counters even when the consumer stopped early.
         Workers still mid-enumeration lose their counts — the price of
@@ -255,9 +294,7 @@ class _ShardFeed:
                 while True:
                     kind, payload = self._queue.get_nowait()
                     if kind == "done":
-                        self._finished = True
-                        if self._counters is not None:
-                            _merge_snapshot(self._counters, payload)
+                        self._fold_done(payload)
                         break
             except queue_module.Empty:
                 pass
@@ -279,6 +316,7 @@ def parallel_rank_enumerate(
     shard_variable: Optional[str] = None,
     policy: str = "hash",
     chunk_size: int = DEFAULT_CHUNK_SIZE,
+    profile: Optional["DelayProfile"] = None,
 ) -> Iterator[tuple[tuple, Any]]:
     """Shard, enumerate per shard in worker processes, merge ranked.
 
@@ -308,7 +346,14 @@ def parallel_rank_enumerate(
     context = _pool_context()
     feeds = [
         _ShardFeed(
-            context, shard, ranking.name, method, k, chunk_size, counters
+            context,
+            shard,
+            ranking.name,
+            method,
+            k,
+            chunk_size,
+            counters,
+            profile=profile,
         )
         for shard in live
     ]
@@ -327,4 +372,8 @@ def parallel_rank_enumerate(
             for feed in feeds:
                 feed.shutdown()
 
-    return merged()
+    stream = merged()
+    # The parent-side profile measures the *merged* stream (what the
+    # consumer experiences); the per-shard worker measurements arrive via
+    # the done frames above.
+    return stream if profile is None else profile.wrap(stream)

@@ -118,6 +118,39 @@ class Client:
         """The server's routed plan for ``sql``, as text."""
         return self.call("explain", sql=sql, engine=engine)["explain"]
 
+    def explain_analyze(
+        self, sql: str, engine: Optional[str] = None
+    ) -> dict:
+        """EXPLAIN ANALYZE on the server: runs the statement, returns the
+        report dict (``analyze``) with its text rendering (``explain``)."""
+        response = self.call("explain", sql=sql, engine=engine, analyze=True)
+        return {k: v for k, v in response.items() if k not in ("id", "ok")}
+
+    def metrics(self, format: str = "prometheus"):
+        """The server's unified metrics registry.
+
+        ``format="prometheus"`` (default) returns the text exposition
+        format as a string; ``format="json"`` returns a nested dict.
+        """
+        return self.call("metrics", format=format)["metrics"]
+
+    def trace(
+        self, trace_id: Optional[str] = None, request: Any = None
+    ) -> dict:
+        """A buffered trace by trace id / request id (or the newest ones).
+
+        Every response carries a ``trace_id`` field; pass it here to get
+        the request's span tree (``trace``) plus a rendered view
+        (``rendered``).  With no arguments, returns ``recent`` traces.
+        """
+        fields: dict[str, Any] = {}
+        if trace_id is not None:
+            fields["trace"] = trace_id
+        if request is not None:
+            fields["request"] = request
+        response = self.call("trace", **fields)
+        return {k: v for k, v in response.items() if k not in ("id", "ok")}
+
     def mutate(self, sql: str) -> dict:
         """Commit one ``INSERT INTO`` / ``DELETE FROM`` statement.
 
@@ -187,6 +220,12 @@ class ResultCursor:
         #: The snapshot version the server pinned this cursor to: every
         #: page, however late it is fetched, drains that generation.
         self.version: Optional[int] = response.get("version")
+        #: The trace id of the opening request (look the span tree up via
+        #: :meth:`Client.trace`); refreshed on every fetch round trip.
+        self.trace_id: Optional[str] = response.get("trace_id")
+        #: Cumulative results the server has emitted for this cursor
+        #: (inline prefix included), updated on every round trip.
+        self.results_emitted: int = int(response.get("results_emitted", 0))
         self._pending: list[tuple[tuple, Any]] = [
             _wire_pair(p) for p in response.get("rows", ())
         ]
@@ -209,6 +248,10 @@ class ResultCursor:
         )
         self._done = bool(response.get("done"))
         self.deadline_exceeded = bool(response.get("deadline_exceeded"))
+        if "results_emitted" in response:
+            self.results_emitted = int(response["results_emitted"])
+        if "trace_id" in response:
+            self.trace_id = response["trace_id"]
         if self._done:
             self.cursor_id = None  # the server auto-closed it
         return [_wire_pair(p) for p in response.get("rows", ())]

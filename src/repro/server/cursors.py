@@ -15,8 +15,13 @@ import threading
 import time
 from typing import Callable, Optional
 
+from typing import TYPE_CHECKING
+
 from repro.anyk.api import PausableStream
 from repro.util.counters import Counters
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.obs.delay import DelayProfile
 
 
 class CursorLimitError(Exception):
@@ -38,6 +43,7 @@ class Cursor:
         columns: tuple[str, ...],
         stream: PausableStream,
         counters: Counters,
+        profile: Optional["DelayProfile"] = None,
     ) -> None:
         self.id = cursor_id
         self.sql = sql
@@ -45,6 +51,10 @@ class Cursor:
         self.columns = columns
         self.stream = stream
         self.counters = counters
+        #: The session's anytime-delay profile (wrapped around the engine
+        #: stream by the service); folded into per-engine aggregates when
+        #: the cursor retires.
+        self.profile = profile
         self.created = time.monotonic()
         self.last_used = self.created
 
@@ -130,6 +140,7 @@ class CursorManager:
         columns: tuple[str, ...],
         stream: PausableStream,
         counters: Counters,
+        profile: Optional["DelayProfile"] = None,
     ) -> Cursor:
         """Register a new cursor; raises :class:`CursorLimitError` when
         full and nothing is idle enough to evict."""
@@ -146,7 +157,7 @@ class CursorManager:
                     )
                 cursor_id = f"c{next(self._ids)}"
                 cursor = Cursor(
-                    cursor_id, sql, engine, columns, stream, counters
+                    cursor_id, sql, engine, columns, stream, counters, profile
                 )
                 self._cursors[cursor_id] = cursor
                 self.opened += 1

@@ -5,7 +5,8 @@ the simplest framing that composes with ``nc``, log files, and every
 language's standard library.  All requests share the envelope::
 
     {"id": <any>, "op": "query" | "fetch" | "explain" | "mutate" | "close"
-     | "stats", ...op fields..., "deadline_ms": <optional int>}
+     | "stats" | "metrics" | "trace", ...op fields...,
+     "deadline_ms": <optional int>}
 
 and all responses echo the id::
 
@@ -23,7 +24,10 @@ Op fields (see :class:`repro.server.service.QueryService` for semantics):
 ``fetch``
     ``cursor`` (required), ``n`` (optional int, default server batch).
 ``explain``
-    ``sql`` (required), ``engine`` (optional).
+    ``sql`` (required), ``engine`` (optional), ``analyze`` (optional
+    bool: run the statement to completion and include the EXPLAIN
+    ANALYZE report — per-stage/per-operator wall time, tuples produced,
+    cache/shard attribution, and the in-engine anytime-delay profile).
 ``mutate``
     ``sql`` (required): one ``INSERT INTO`` / ``DELETE FROM`` statement.
     Commits a new copy-on-write snapshot; open cursors keep draining the
@@ -33,6 +37,16 @@ Op fields (see :class:`repro.server.service.QueryService` for semantics):
     ``cursor`` (required).
 ``stats``
     no fields.
+``metrics``
+    ``format`` (optional: ``"prometheus"`` — the default, Prometheus
+    text exposition — or ``"json"``).  Returns the unified metrics
+    registry: request counters, cache/cursor gauges, per-op latency
+    histograms, and per-engine delay/TTF histograms.
+``trace``
+    ``trace`` (optional: a trace id, as echoed in every response's
+    ``trace_id``) or ``request`` (optional: a request envelope id).
+    Returns the buffered span tree; with neither field, the newest
+    buffered traces.
 
 ``deadline_ms`` bounds row production for this request: the server stops
 pulling results once the deadline passes and returns the partial batch
@@ -60,6 +74,8 @@ OPS: dict[str, tuple[str, ...]] = {
     "mutate": ("sql",),
     "close": ("cursor",),
     "stats": (),
+    "metrics": (),
+    "trace": (),
 }
 
 # Error codes (the machine-readable half of every failure).
@@ -138,6 +154,20 @@ def validate_request(request: dict) -> str:
     engine = request.get("engine")
     if engine is not None and not isinstance(engine, str):
         raise ProtocolError("'engine' must be a string engine name")
+    if op == "explain" and "analyze" in request and not isinstance(
+        request["analyze"], bool
+    ):
+        raise ProtocolError("'analyze' must be a boolean")
+    if op == "metrics":
+        format_ = request.get("format", "prometheus")
+        if format_ not in ("prometheus", "json"):
+            raise ProtocolError(
+                "'format' must be 'prometheus' or 'json'"
+            )
+    if op == "trace" and "trace" in request and not isinstance(
+        request["trace"], str
+    ):
+        raise ProtocolError("'trace' must be a string (a trace id)")
     return op
 
 

@@ -22,6 +22,9 @@ from repro.dynamic import MutationError, VersionedDatabase
 from repro.engine.catalog import StatsCache, database_fingerprint
 from repro.engine.executor import apply_mutation, execute
 from repro.engine.planner import plan_compiled
+from repro.obs.delay import DELAY_BOUNDS, DelayProfile
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import render_trace_tree, tracer
 from repro.query.cq import QueryError
 # Submodule-style import: safe under the package's partially-initialized
 # state when ``repro.server/__init__`` pulls this module in (PEP 328's
@@ -95,24 +98,49 @@ class QueryService:
             idle_evict_s=idle_evict_s,
             # Evicted sessions' work lands in the aggregate exactly like
             # explicitly closed ones.
-            on_evict=lambda cursor: self.counters.merge(cursor.counters),
+            on_evict=self._retire,
         )
         self.default_batch = default_batch
         #: Server-wide RAM-model work, aggregated from per-cursor counters
         #: when cursors close (thread-safe merge).
         self.counters = Counters()
-        #: Server-side per-op wall-clock latencies (ms), observed around
-        #: every dispatched request in :meth:`handle` — errors included,
-        #: since a failing request still costs the server time.  The
-        #: ``stats`` op reports them as ``op_latency_ms`` so load
-        #: generators can split wire cost from engine cost.
-        self.op_timers = Counters()
         self._started = time.monotonic()
         self._metrics_lock = threading.Lock()
         self._queries = 0
         self._fetches = 0
         self._rows_served = 0
         self._mutations = 0
+        # Observability: one metrics registry per service (tests stay
+        # isolated), the *process* tracer enabled once (spans are
+        # per-request, far off the per-result hot path), and per-engine
+        # anytime-delay aggregates folded from cursors as they retire.
+        tracer.enable()
+        self.registry = MetricsRegistry()
+        #: Per-op request wall time (ms) — errors included, since a
+        #: failing request still costs the server time.  Backs the
+        #: ``stats`` op's ``op_latency_ms`` (count/mean/max plus
+        #: p50/p95/p99) and the ``metrics`` op's histogram series.
+        self._op_latency = self.registry.histogram(
+            "repro_op_latency_ms",
+            "Per-op request wall time in ms (errors included)",
+            labelnames=("op",),
+        )
+        self._delay_metric = self.registry.histogram(
+            "repro_result_delay_ms",
+            "In-engine inter-result (busy) delay in ms, by engine",
+            labelnames=("engine",),
+            bounds=DELAY_BOUNDS,
+        )
+        self._ttf_metric = self.registry.histogram(
+            "repro_ttf_ms",
+            "In-engine wall time to the first result in ms, by engine",
+            labelnames=("engine",),
+        )
+        self._delay_lock = threading.Lock()
+        #: engine name -> aggregate :class:`DelayProfile` (the ``stats``
+        #: op's ``delay_profiles`` section).
+        self.delay_profiles: dict[str, DelayProfile] = {}
+        self.registry.add_collector(self._collect_samples)
 
     @property
     def db(self) -> Database:
@@ -144,22 +172,26 @@ class QueryService:
         untouched relations stay warm.
         """
         _check_engine(engine)
-        normalized, statement = normalize_sql(sql)
+        with tracer.span("parse"):
+            normalized, statement = normalize_sql(sql)
         snapshot = db if db is not None else self.versioned.snapshot()
-        referenced = frozenset(t.relation for t in statement.tables)
-        fingerprint = database_fingerprint(snapshot, only=referenced)
-        key = PlanCache.key(normalized, engine, fingerprint, self.workers)
-        entry = self.plan_cache.lookup(key)
+        with tracer.span("cache_lookup") as lookup_span:
+            referenced = frozenset(t.relation for t in statement.tables)
+            fingerprint = database_fingerprint(snapshot, only=referenced)
+            key = PlanCache.key(normalized, engine, fingerprint, self.workers)
+            entry = self.plan_cache.lookup(key)
+            lookup_span.set(hit=entry is not None)
         if entry is not None:
             return entry, True
-        compiled = analyze_statement(snapshot, sql, statement)
-        routed = plan_compiled(
-            snapshot,
-            compiled,
-            engine=engine,
-            stats_cache=self.stats_cache,
-            workers=self.workers,
-        )
+        with tracer.span("plan"):
+            compiled = analyze_statement(snapshot, sql, statement)
+            routed = plan_compiled(
+                snapshot,
+                compiled,
+                engine=engine,
+                stats_cache=self.stats_cache,
+                workers=self.workers,
+            )
         entry = CachedPlan(compiled, routed)
         self.plan_cache.store(key, entry)
         return entry, False
@@ -189,8 +221,18 @@ class QueryService:
         snapshot = self.versioned.snapshot()
         entry, was_cached = self.plan(sql, engine=engine, db=snapshot)
         session_counters = Counters()
+        # Every cursor carries its own delay profile; the engine-side wrap
+        # records TTF/TT(k)/inter-result delay as pages drain, and
+        # _retire folds it into the per-engine aggregate on close/evict.
+        profile = DelayProfile()
         stream = PausableStream(
-            execute(snapshot, entry.compiled, entry.plan, counters=session_counters)
+            execute(
+                snapshot,
+                entry.compiled,
+                entry.plan,
+                counters=session_counters,
+                profile=profile,
+            )
         )
         cursor = self.cursors.open(
             sql=sql,
@@ -198,6 +240,7 @@ class QueryService:
             columns=entry.compiled.output_columns,
             stream=stream,
             counters=session_counters,
+            profile=profile,
         )
         with self._metrics_lock:
             self._queries += 1
@@ -226,6 +269,7 @@ class QueryService:
             if payload["done"]:
                 self._finish(cursor.id)
                 payload["cursor"] = None
+        payload["results_emitted"] = cursor.emitted
         return payload
 
     def fetch(
@@ -243,6 +287,7 @@ class QueryService:
             self._fetch_into(cursor, n or self.default_batch, deadline)
         )
         payload["emitted"] = cursor.emitted
+        payload["results_emitted"] = cursor.emitted
         if payload["done"]:
             self._finish(cursor_id)
         return payload
@@ -251,7 +296,11 @@ class QueryService:
         self, cursor, n: int, deadline: Optional[float]
     ) -> dict:
         try:
-            rows, done = cursor.fetch(n, deadline=deadline)
+            with tracer.span(
+                "page_fetch", cursor=cursor.id, n=n, engine=cursor.engine
+            ) as span:
+                rows, done = cursor.fetch(n, deadline=deadline)
+                span.set(rows=len(rows), done=done)
         except StreamClosed:
             # Lost the race with a concurrent close/eviction after the
             # cursor lookup: the session is gone, and saying "done" would
@@ -281,20 +330,99 @@ class QueryService:
             cursor = self.cursors.close(cursor_id)
         except UnknownCursorError:
             return
-        self.counters.merge(cursor.counters)
+        self._retire(cursor)
 
-    def explain(self, sql: str, engine: Optional[str] = None) -> dict:
-        """The routed plan as text (cached like ``query`` plans)."""
+    def _retire(self, cursor) -> None:
+        """Fold a closing/evicted cursor's work into server aggregates."""
+        self.counters.merge(cursor.counters)
+        self._fold_profile(getattr(cursor, "profile", None), cursor.engine)
+
+    def _fold_profile(
+        self, profile: Optional[DelayProfile], engine: str
+    ) -> None:
+        """Fold one quiescent delay profile into the per-engine aggregate
+        and the registry's delay/TTF histogram families (each profile is
+        folded exactly once, so nothing is double counted)."""
+        if profile is None or not profile.streams:
+            return
+        name = profile.engine or engine
+        with self._delay_lock:
+            aggregate = self.delay_profiles.get(name)
+            if aggregate is None:
+                aggregate = self.delay_profiles[name] = DelayProfile(name)
+            aggregate.merge(profile)
+        self._delay_metric.labels(engine=name).merge_histogram(profile.delay)
+        self._ttf_metric.labels(engine=name).merge_histogram(profile.ttf)
+
+    def explain(
+        self, sql: str, engine: Optional[str] = None, analyze: bool = False
+    ) -> dict:
+        """The routed plan as text (cached like ``query`` plans).
+
+        With ``analyze=True`` the statement is additionally *run to
+        completion* (honoring its LIMIT) and the response carries the
+        EXPLAIN ANALYZE report (:mod:`repro.obs.analyze`): per-stage and
+        per-operator wall time, tuples produced, plan-cache and shard
+        attribution, and the in-engine anytime-delay profile.
+        """
         from repro.sql import render_explain
 
-        entry, was_cached = self.plan(sql, engine=engine)
+        if not analyze:
+            entry, was_cached = self.plan(sql, engine=engine)
+            return {
+                "explain": render_explain(entry.compiled, entry.plan),
+                "engine": entry.plan.engine,
+                "plan_cached": was_cached,
+                # Which data generation the plan was costed on — with the
+                # versioned fingerprints this is also the newest generation
+                # of every relation the statement reads.
+                "version": entry.plan.snapshot_version,
+            }
+        from repro.obs.analyze import build_report, render_analyze
+
+        snapshot = self.versioned.snapshot()
+        start = time.perf_counter()
+        entry, was_cached = self.plan(sql, engine=engine, db=snapshot)
+        plan_ms = (time.perf_counter() - start) * 1000.0
+        counters = Counters()
+        profile = DelayProfile()
+        with tracer.span(
+            "analyze.execute", engine=entry.plan.engine
+        ):
+            start = time.perf_counter()
+            rows = 0
+            for _ in execute(
+                snapshot,
+                entry.compiled,
+                entry.plan,
+                counters=counters,
+                profile=profile,
+            ):
+                rows += 1
+            execute_ms = (time.perf_counter() - start) * 1000.0
+        report = build_report(
+            snapshot,
+            entry.compiled,
+            entry.plan,
+            rows=rows,
+            stages_ms={
+                "plan": round(plan_ms, 4),
+                "execute": round(execute_ms, 4),
+                "total": round(plan_ms + execute_ms, 4),
+            },
+            profile=profile,
+            counters=counters,
+            cache={"plan_cache": "hit" if was_cached else "miss"},
+        )
+        # The analyzed run is real engine work; it lands in the same
+        # aggregates a drained cursor would.
+        self.counters.merge(counters)
+        self._fold_profile(profile, entry.plan.engine)
         return {
-            "explain": render_explain(entry.compiled, entry.plan),
+            "explain": render_analyze(report),
+            "analyze": report,
             "engine": entry.plan.engine,
             "plan_cached": was_cached,
-            # Which data generation the plan was costed on — with the
-            # versioned fingerprints this is also the newest generation
-            # of every relation the statement reads.
             "version": entry.plan.snapshot_version,
         }
 
@@ -325,8 +453,12 @@ class QueryService:
     def close(self, cursor_id: str) -> dict:
         """Explicitly free a cursor's session state."""
         cursor = self.cursors.close(cursor_id)  # raises UnknownCursorError
-        self.counters.merge(cursor.counters)
-        return {"closed": cursor_id, "emitted": cursor.emitted}
+        self._retire(cursor)
+        return {
+            "closed": cursor_id,
+            "emitted": cursor.emitted,
+            "results_emitted": cursor.emitted,
+        }
 
     def stats(self) -> dict:
         """Observability: caches, cursors, service metrics, RAM-model work."""
@@ -351,13 +483,121 @@ class QueryService:
             "stats_cache": self.stats_cache.info(),
             "cursors": self.cursors.stats(),
             "counters": self.counters.snapshot(),
-            "op_latency_ms": self.op_timers.timing_summary(),
+            "op_latency_ms": self._op_latency_summary(),
+            "delay_profiles": self.delay_summaries(),
+            "tracer": tracer.info(),
         }
+
+    def _op_latency_summary(self) -> dict:
+        """Per-op latency digests from the registry histogram family.
+
+        Keeps the pre-registry keys (``count``/``mean``/``max``) the
+        workload reporters read, and adds the percentile keys the
+        fixed-bucket histogram makes possible.
+        """
+        out: dict[str, dict] = {}
+        for labels, child in self._op_latency.children():
+            summary = child.summary()
+            if not summary.get("count"):
+                continue
+            out[labels["op"]] = {
+                "count": summary["count"],
+                "mean": summary["mean_ms"],
+                "max": summary["max_ms"],
+                "p50_ms": summary["p50_ms"],
+                "p95_ms": summary["p95_ms"],
+                "p99_ms": summary["p99_ms"],
+            }
+        return out
+
+    def delay_summaries(self) -> dict:
+        """Per-engine anytime-delay digests (TTF / TT(k) / delay)."""
+        with self._delay_lock:
+            return {
+                engine: profile.summary()
+                for engine, profile in self.delay_profiles.items()
+            }
+
+    def metrics(self, format: str = "prometheus") -> dict:
+        """The unified metrics registry, rendered for export."""
+        if format == "json":
+            return {"format": "json", "metrics": self.registry.to_json()}
+        return {
+            "format": "prometheus",
+            "content_type": "text/plain; version=0.0.4; charset=utf-8",
+            "metrics": self.registry.render_prometheus(),
+        }
+
+    def trace(
+        self, trace_id: Optional[str] = None, request: Any = None
+    ) -> dict:
+        """Look up a buffered trace by trace id or by request id.
+
+        With neither given, returns the newest buffered traces plus the
+        tracer's ring statistics (what ``repro-obs --tail`` polls).
+        """
+        if trace_id is not None:
+            found = tracer.get(trace_id)
+        elif request is not None:
+            found = tracer.find_by_request(request)
+        else:
+            return {"recent": tracer.recent(20), "tracer": tracer.info()}
+        if found is None:
+            wanted = trace_id if trace_id is not None else f"request {request!r}"
+            raise protocol.ProtocolError(
+                f"no buffered trace for {wanted} (the ring keeps the last "
+                f"{tracer.capacity} traces)"
+            )
+        return {"trace": found, "rendered": render_trace_tree(found)}
+
+    def _collect_samples(self):
+        """Pull-time gauge samples for the registry (export-time only)."""
+        with self._metrics_lock:
+            samples = [
+                ("repro_queries_total", {}, self._queries),
+                ("repro_fetches_total", {}, self._fetches),
+                ("repro_rows_served_total", {}, self._rows_served),
+                ("repro_mutations_total", {}, self._mutations),
+            ]
+        samples.append(
+            (
+                "repro_uptime_seconds",
+                {},
+                round(time.monotonic() - self._started, 3),
+            )
+        )
+        samples.append(("repro_cursors_open", {}, len(self.cursors)))
+        for state in ("opened", "closed", "evicted", "rejected"):
+            samples.append(
+                (
+                    f"repro_cursors_{state}_total",
+                    {},
+                    getattr(self.cursors, state),
+                )
+            )
+        for cache_name, cache in (
+            ("plan", self.plan_cache),
+            ("stats", self.stats_cache),
+        ):
+            info = cache.info()
+            labels = {"cache": cache_name}
+            samples.append(("repro_cache_entries", labels, info["entries"]))
+            samples.append(("repro_cache_hits_total", labels, info["hits"]))
+            samples.append(
+                ("repro_cache_misses_total", labels, info["misses"])
+            )
+        for name, value in self.counters.snapshot().items():
+            if isinstance(value, (int, float)):
+                samples.append(("repro_engine_work", {"counter": name}, value))
+        info = tracer.info()
+        samples.append(("repro_traces_buffered", {}, info["buffered"]))
+        samples.append(("repro_traces_dropped_total", {}, info["dropped"]))
+        return samples
 
     def shutdown(self) -> None:
         """Close every open cursor (their work still lands in stats)."""
         for cursor in self.cursors.close_all():
-            self.counters.merge(cursor.counters)
+            self._retire(cursor)
 
     # ------------------------------------------------------------------
     # Protocol entry point
@@ -376,11 +616,19 @@ class QueryService:
             else None
         )
         started = time.perf_counter()
+        root = tracer.start_trace(op, request_id=request_id)
         try:
-            return self._dispatch(request_id, op, request, deadline)
+            with root:
+                response = self._dispatch(request_id, op, request, deadline)
+            trace_id = getattr(root, "trace_id", None)
+            if trace_id is not None:
+                # Echoed on every response (success or error) so clients
+                # can fetch the request's span tree via the ``trace`` op.
+                response.setdefault("trace_id", trace_id)
+            return response
         finally:
-            self.op_timers.observe(
-                op, (time.perf_counter() - started) * 1000.0
+            self._op_latency.labels(op=op).observe(
+                (time.perf_counter() - started) * 1000.0
             )
 
     def _dispatch(
@@ -406,14 +654,27 @@ class QueryService:
                 )
             elif op == "explain":
                 payload = self.explain(
-                    request["sql"], engine=request.get("engine")
+                    request["sql"],
+                    engine=request.get("engine"),
+                    analyze=bool(request.get("analyze")),
                 )
             elif op == "mutate":
                 payload = self.mutate(request["sql"])
             elif op == "close":
                 payload = self.close(request["cursor"])
+            elif op == "metrics":
+                payload = self.metrics(
+                    format=request.get("format", "prometheus")
+                )
+            elif op == "trace":
+                payload = self.trace(
+                    trace_id=request.get("trace"),
+                    request=request.get("request"),
+                )
             else:  # "stats" — validate_request admits nothing else
                 payload = self.stats()
+        except protocol.ProtocolError as exc:
+            return protocol.error_response(request_id, exc.code, str(exc))
         except CursorLimitError as exc:
             return protocol.error_response(
                 request_id, protocol.CURSOR_LIMIT, str(exc)

@@ -16,8 +16,9 @@ Supported subset: ``SELECT <cols | *> FROM r1 [AS a] {JOIN r2 ON … | , r2}
 weight|sum/max/product/lex(weight) [ASC|DESC]] [LIMIT k]``, plus the
 mutations ``INSERT INTO r [(cols...)] VALUES ...`` and ``DELETE FROM r
 [WHERE constant filters]`` through :func:`mutate` (which needs a
-:class:`repro.dynamic.VersionedDatabase`).  Everything else fails with a
-position-annotated :class:`SqlError`.
+:class:`repro.dynamic.VersionedDatabase`), and ``EXPLAIN [ANALYZE]
+<select>`` through :func:`explain` / :func:`explain_analyze`.
+Everything else fails with a position-annotated :class:`SqlError`.
 
 Quickstart::
 
@@ -157,11 +158,44 @@ def render_explain(compiled: CompiledQuery, plan: Plan) -> str:
 
 
 def explain(db: Database, sql: str, engine: Optional[str] = None) -> str:
-    """The routed plan for ``sql``, rendered as text (no execution)."""
+    """The routed plan for ``sql``, rendered as text (no execution).
+
+    ``sql`` may carry an ``EXPLAIN`` prefix (it is stripped); an
+    ``EXPLAIN ANALYZE`` prefix delegates to :func:`explain_analyze`,
+    which *does* execute the statement.
+    """
+    from repro.sql.nodes import ExplainStatement
+    from repro.sql.parser import parse_any
+
     _check_engine(engine)
-    compiled = analyze(db, sql)
+    statement = parse_any(sql)
+    if isinstance(statement, ExplainStatement):
+        if statement.analyze:
+            return explain_analyze(db, sql, engine=engine)
+        statement = statement.statement
+    if not isinstance(statement, SelectStatement):
+        raise SqlError(
+            "EXPLAIN applies to SELECT statements only", sql, statement.pos
+        )
+    from repro.sql.analyzer import analyze_statement
+
+    compiled = analyze_statement(db, sql, statement)
     plan = plan_compiled(db, compiled, engine=engine)
     return render_explain(compiled, plan)
+
+
+def explain_analyze(
+    db: Database, sql: str, engine: Optional[str] = None
+) -> str:
+    """EXPLAIN ANALYZE: run ``sql`` to completion, report where the time
+    went — per-stage and per-operator wall time, tuples produced, and
+    the in-engine anytime-delay profile (TTF / TT(k) / inter-result
+    delay).  See :mod:`repro.obs.analyze` for the report structure;
+    :func:`repro.obs.analyze.run_analyze` returns it as a dict.
+    """
+    from repro.obs.analyze import render_analyze, run_analyze
+
+    return render_analyze(run_analyze(db, sql, engine=engine))
 
 
 __all__ = [
@@ -172,6 +206,7 @@ __all__ = [
     "SqlResult",
     "analyze",
     "explain",
+    "explain_analyze",
     "mutate",
     "parse",
     "query",

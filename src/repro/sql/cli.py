@@ -112,13 +112,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # Mutations need the copy-on-write layer; statements after one see
     # the newest snapshot, exactly like the server's mutate op.
     from repro.dynamic import VersionedDatabase
-    from repro.sql.nodes import SelectStatement
+    from repro.sql.nodes import ExplainStatement, SelectStatement
     from repro.sql.parser import parse_any
 
     vdb = VersionedDatabase(db, copy=False)
     try:
         for sql in statements:
             statement = parse_any(sql)
+            if isinstance(statement, ExplainStatement):
+                # EXPLAIN renders the plan; EXPLAIN ANALYZE also runs the
+                # statement and reports stage/operator timings and the
+                # anytime-delay profile (repro.sql.explain dispatches).
+                print(repro.sql.explain(vdb.snapshot(), sql, engine=args.engine))
+                continue
             if not isinstance(statement, SelectStatement):
                 # Mutations apply even under --explain: later statements'
                 # plans must describe the data they would really run on.

@@ -23,6 +23,7 @@ KEYWORDS = frozenset(
         "DISTINCT", "UNION", "EXCEPT", "INTERSECT", "LEFT", "RIGHT", "FULL",
         "OUTER", "INNER", "CROSS", "NATURAL", "USING",
         "INSERT", "INTO", "VALUES", "DELETE", "UPDATE", "SET",
+        "EXPLAIN", "ANALYZE",
     }
 )
 

@@ -134,6 +134,26 @@ class DeleteStatement:
 
 
 @dataclass(frozen=True)
+class ExplainStatement:
+    """``EXPLAIN [ANALYZE] <select>``.
+
+    Plain ``EXPLAIN`` renders the routed plan without executing;
+    ``EXPLAIN ANALYZE`` additionally runs the statement to completion
+    (honoring its LIMIT) and reports per-operator wall time, tuples
+    produced, cache/shard attribution, and the anytime-delay profile
+    (see :mod:`repro.obs.analyze`).
+    """
+
+    statement: "SelectStatement"
+    analyze: bool = False
+    pos: int = field(default=0, compare=False)
+
+    def __str__(self) -> str:
+        prefix = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        return f"{prefix} {self.statement}"
+
+
+@dataclass(frozen=True)
 class SelectStatement:
     """One parsed ``SELECT`` statement.
 

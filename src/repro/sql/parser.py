@@ -2,7 +2,8 @@
 
 Grammar (keywords case-insensitive)::
 
-    statement   := (select | insert | delete) [';'] EOF
+    statement   := (select | insert | delete | explain) [';'] EOF
+    explain     := EXPLAIN [ANALYZE] select
     select      := SELECT select_list FROM table_list
                    [WHERE conjunction]
                    [ORDER BY order_key [ASC | DESC]]
@@ -41,6 +42,7 @@ from repro.sql.nodes import (
     ColumnRef,
     Comparison,
     DeleteStatement,
+    ExplainStatement,
     InsertStatement,
     Literal,
     Operand,
@@ -53,12 +55,22 @@ from repro.sql.nodes import (
 ORDER_AGGREGATES = ("sum", "max", "product", "prod", "lex")
 
 #: Any statement the parser understands.
-Statement = Union[SelectStatement, InsertStatement, DeleteStatement]
+Statement = Union[
+    SelectStatement, InsertStatement, DeleteStatement, ExplainStatement
+]
 
 
 def parse(sql: str) -> SelectStatement:
     """Parse one SELECT statement; raises :class:`SqlError` on anything else."""
     statement = parse_any(sql)
+    if isinstance(statement, ExplainStatement):
+        raise SqlError(
+            "expected a plain SELECT here; EXPLAIN goes through "
+            "repro.sql.explain, EXPLAIN ANALYZE through "
+            "repro.sql.explain_analyze (or the server's 'explain' op)",
+            sql,
+            statement.pos,
+        )
     if not isinstance(statement, SelectStatement):
         raise SqlError(
             "expected a SELECT statement here; mutations (INSERT/DELETE) go "
@@ -116,6 +128,8 @@ class _Parser:
 
     # -- grammar -----------------------------------------------------------
     def parse_any(self) -> "Statement":
+        if self.current.is_keyword("EXPLAIN"):
+            return self.parse_explain()
         if self.current.is_keyword("INSERT"):
             return self.parse_insert()
         if self.current.is_keyword("DELETE"):
@@ -126,6 +140,21 @@ class _Parser:
                 "followed by INSERT INTO"
             )
         return self.parse_statement()
+
+    def parse_explain(self) -> ExplainStatement:
+        start = self.expect_keyword("EXPLAIN")
+        analyze = False
+        if self.current.is_keyword("ANALYZE"):
+            self.advance()
+            analyze = True
+        if not self.current.is_keyword("SELECT"):
+            raise self.error(
+                "EXPLAIN covers SELECT statements only (mutations commit "
+                "unconditionally; there is no plan to show)"
+            )
+        return ExplainStatement(
+            statement=self.parse_statement(), analyze=analyze, pos=start.pos
+        )
 
     def _expect_end(self) -> None:
         """Consume an optional trailing ``;`` and require end of input."""

@@ -10,9 +10,15 @@ experiments can present RAM-model operation counts next to wall-clock time.
 :mod:`repro.util.heaps` contains the priority-queue machinery used by the
 any-k algorithms, including the incremental ("lazy") sorting structures that
 back the different ``ANYK-PART`` successor strategies.
+
+:mod:`repro.util.histogram` is the shared mergeable fixed-bucket latency
+histogram (exact fold across threads and processes) behind the load
+generator, the server's per-op latency stats, and the anytime-delay
+profiler in :mod:`repro.obs`.
 """
 
 from repro.util.counters import Counters, global_counters, reset_global_counters
+from repro.util.histogram import DEFAULT_BOUNDS, Histogram, geometric_bounds
 from repro.util.lru import LruCache
 from repro.util.heaps import (
     BinaryHeap,
@@ -23,6 +29,9 @@ from repro.util.heaps import (
 
 __all__ = [
     "Counters",
+    "DEFAULT_BOUNDS",
+    "Histogram",
+    "geometric_bounds",
     "LruCache",
     "global_counters",
     "reset_global_counters",
