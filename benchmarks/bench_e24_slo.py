@@ -1,0 +1,157 @@
+"""E24: SLO burn-rate grading — pass/fail against recorded baselines.
+
+Derives SLO thresholds from the ``BENCH_workload.json`` series that
+:mod:`bench_e22_workload` recorded (baseline query/TTFR p99 with 4x
+headroom, floored so clock noise cannot flake the gate) and grades a
+fresh wire run of the ``read-mostly`` scenario against them: every
+derived spec must come back ``ok``.  Then the negative control — the
+same run graded against an impossible ``query_p99_ms<=0.000001`` spec
+must burn through its error budget and report ``page``, proving the
+verdict machinery actually fires and the green run above is not a
+grader that cannot fail.
+
+Writes ``BENCH_slo.json`` — the derived specs, both verdicts, and the
+baseline they came from, machine-readable for future PRs to diff.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_e24_slo.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import print_table  # noqa: E402
+
+from repro.workload import run_scenario  # noqa: E402
+
+SEED = 7
+DURATION = 3.0
+CLIENTS = 4
+SCENARIO = "read-mostly"
+
+#: Headroom multiplier over the baseline p99 — generous enough that the
+#: gate catches regressions, not scheduler jitter.
+HEADROOM = 4.0
+#: Absolute floor (ms) under the derived thresholds; sub-millisecond
+#: objectives are clock noise, not SLOs.
+FLOOR_MS = 25.0
+
+#: Fallback objectives when no baseline series has been recorded yet.
+DEFAULT_SPECS = ("query_p99_ms<=250", "ttfr_p99_ms<=250", "error_rate<=1%")
+
+#: The negative control: impossible by construction (p99 budget 0.01,
+#: so a run where every request misses burns at 100x = page).
+VIOLATED_SPEC = "query_p99_ms<=0.000001"
+
+
+def derive_specs(baseline: dict | None) -> tuple[list[str], dict]:
+    """Baseline report -> SLO specs with headroom (or the defaults)."""
+    if not baseline:
+        return list(DEFAULT_SPECS), {}
+    query_p99 = baseline["ops"]["query"]["p99_ms"]
+    ttfr_p99 = baseline["ttfr_ms"]["p99_ms"]
+    thresholds = {
+        "query_p99_ms": max(FLOOR_MS, HEADROOM * query_p99),
+        "ttfr_p99_ms": max(FLOOR_MS, HEADROOM * ttfr_p99),
+    }
+    specs = [
+        f"query_p99_ms<={thresholds['query_p99_ms']:.1f}",
+        f"ttfr_p99_ms<={thresholds['ttfr_p99_ms']:.1f}",
+        "error_rate<=1%",
+    ]
+    return specs, {
+        "query_p99_ms": query_p99,
+        "ttfr_p99_ms": ttfr_p99,
+        "headroom": HEADROOM,
+        "floor_ms": FLOOR_MS,
+    }
+
+
+def main() -> None:
+    root = Path(__file__).resolve().parent.parent
+    baseline_path = root / "BENCH_workload.json"
+    baseline = None
+    if baseline_path.exists():
+        with baseline_path.open(encoding="utf-8") as handle:
+            baseline = json.load(handle)
+    specs, derived_from = derive_specs(baseline)
+
+    result = run_scenario(
+        SCENARIO,
+        seed=SEED,
+        duration=DURATION,
+        clients=CLIENTS,
+        mode="wire",
+        sample=0.0,
+        slos=specs,
+    )
+    graded = result.report["slo"]
+    assert graded["status"] == "ok", graded
+    assert all(entry["status"] == "ok" for entry in graded["slos"]), graded
+
+    # Negative control: grade the SAME trace against an impossible
+    # objective — the verdict machinery must page, or the green run
+    # above proves nothing.
+    control = run_scenario(
+        SCENARIO,
+        seed=SEED,
+        duration=DURATION,
+        clients=CLIENTS,
+        mode="inprocess",
+        sample=0.0,
+        slos=[VIOLATED_SPEC],
+    )
+    violated = control.report["slo"]
+    assert violated["status"] == "page", violated
+
+    rows = []
+    for entry in graded["slos"] + violated["slos"]:
+        rows.append(
+            (
+                entry["spec"],
+                entry["kind"],
+                entry["total"],
+                entry["bad"],
+                f"{entry['burn_rates']['run']:.2f}x",
+                entry["status"],
+            )
+        )
+    print_table(
+        f"E24: SLO burn-rate verdicts ({SCENARIO}, seed {SEED}, "
+        f"{DURATION:g}s wire run vs BENCH_workload.json baseline)",
+        ("spec", "kind", "total", "bad", "burn", "status"),
+        rows,
+    )
+    print(
+        "\nDerived specs (baseline p99 x "
+        f"{HEADROOM:g}, floor {FLOOR_MS:g} ms) all came back ok; the "
+        "deliberately impossible control spec paged."
+    )
+
+    report = {
+        "scenario": SCENARIO,
+        "seed": SEED,
+        "duration_s": DURATION,
+        "clients": CLIENTS,
+        "baseline": derived_from or None,
+        "specs": specs,
+        "slo": graded,
+        "violated_control": {"spec": VIOLATED_SPEC, "slo": violated},
+        "queries": result.report["trace"]["queries"],
+        "errors": result.report["errors"]["total"],
+    }
+    out = root / "BENCH_slo.json"
+    with out.open("w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"SLO grading report written to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,286 @@
+"""Structured per-request event log (sampled JSON lines).
+
+Where traces answer "what happened inside *this* request" and metrics
+answer "how is the fleet doing", the event log is the durable middle:
+one JSON object per sampled request — op, SQL (plus a stable hash for
+grouping), trace id, snapshot version, plan-cache attribution, latency,
+results emitted, error code — written append-only so it survives the
+process and can be grepped, joined against traces by id, or *replayed*
+against a live server (``repro-obs --replay``).
+
+Capture policy, in priority order:
+
+1. **Errors are always captured.**  A failing request is precisely the
+   one you need the record of.
+2. **Slow requests are always captured**: latency at or above
+   ``slow_ms`` forces the write regardless of sampling.
+3. Everything else is **deterministically sampled** at ``sample``
+   (a rate in [0, 1]; the counter-based scheme records exactly
+   ``floor(n * sample)`` of the first *n* candidates — no RNG, so a
+   seeded run logs a reproducible subset).
+
+Rotation is size-based: when the active file would exceed
+``max_bytes``, it is atomically renamed to ``<path>.1`` (replacing a
+previous rotation) and a fresh file is started — bounded disk, and the
+most recent history is always in at most two files.
+
+Only request-shaped work is logged (``query``/``fetch``/``explain``/
+``mutate``/``close``); observability polls (``stats``/``metrics``/
+``trace``/``slo``) would swamp the log with their own monitoring.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import threading
+import time
+from typing import Any, Iterator, Optional
+
+#: Ops that produce an event-log record (see module docstring).
+LOGGED_OPS = frozenset({"query", "fetch", "explain", "mutate", "close"})
+
+#: Default forced-capture threshold (ms).
+DEFAULT_SLOW_MS = 100.0
+
+#: Default rotation size (bytes).
+DEFAULT_MAX_BYTES = 5_000_000
+
+
+def sql_hash(sql: str) -> str:
+    """A short stable digest for grouping identical statements."""
+    return hashlib.sha256(sql.encode("utf-8")).hexdigest()[:16]
+
+
+class EventLog:
+    """Append-only sampled JSON-lines log with size-based rotation."""
+
+    def __init__(
+        self,
+        path: str,
+        sample: float = 1.0,
+        slow_ms: Optional[float] = DEFAULT_SLOW_MS,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+    ) -> None:
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError("sample must be in [0, 1]")
+        if max_bytes < 1024:
+            raise ValueError("max_bytes must be >= 1024")
+        self.path = str(path)
+        self.sample = sample
+        self.slow_ms = slow_ms
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._size = self._file.tell()
+        self._candidates = 0
+        self._sampled_in = 0
+        self.written = 0
+        self.forced = 0
+        self.rotations = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def record_request(
+        self, request: dict, response: dict, latency_ms: float
+    ) -> bool:
+        """Maybe log one request/response pair; returns True if written."""
+        op = request.get("op")
+        if op not in LOGGED_OPS:
+            return False
+        error = response.get("error") if isinstance(response, dict) else None
+        event: dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "op": op,
+            "id": request.get("id"),
+            "latency_ms": round(latency_ms, 4),
+        }
+        sql = request.get("sql")
+        if isinstance(sql, str):
+            event["sql"] = sql
+            event["sql_hash"] = sql_hash(sql)
+        if isinstance(response, dict):
+            for key in ("trace_id", "version", "plan_cached", "results_emitted"):
+                if key in response:
+                    event[key] = response[key]
+        if error:
+            event["error"] = error.get("code", "internal")
+        force = bool(error) or (
+            self.slow_ms is not None and latency_ms >= self.slow_ms
+        )
+        return self.record(event, force=force)
+
+    def record(self, event: dict, force: bool = False) -> bool:
+        """Write one event (subject to sampling unless ``force``)."""
+        with self._lock:
+            if self._file.closed:
+                return False
+            if not force and not self._take_locked():
+                return False
+            if force:
+                self.forced += 1
+                event.setdefault("forced", True)
+            line = json.dumps(event, separators=(",", ":"), default=str) + "\n"
+            encoded_len = len(line.encode("utf-8"))
+            if self._size and self._size + encoded_len > self.max_bytes:
+                self._rotate_locked()
+            self._file.write(line)
+            self._file.flush()
+            self._size += encoded_len
+            self.written += 1
+            return True
+
+    def _take_locked(self) -> bool:
+        """Deterministic rate-exact sampling: record candidate *n* iff
+        ``floor(n * sample)`` advanced."""
+        self._candidates += 1
+        wanted = math.floor(self._candidates * self.sample)
+        if wanted > self._sampled_in:
+            self._sampled_in = wanted
+            return True
+        return False
+
+    def _rotate_locked(self) -> None:
+        self._file.close()
+        os.replace(self.path, self.path + ".1")
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+        self.rotations += 1
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    def info(self) -> dict:
+        with self._lock:
+            return {
+                "path": self.path,
+                "sample": self.sample,
+                "slow_ms": self.slow_ms,
+                "max_bytes": self.max_bytes,
+                "written": self.written,
+                "forced": self.forced,
+                "candidates": self._candidates,
+                "rotations": self.rotations,
+                "size_bytes": self._size,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+
+# ----------------------------------------------------------------------
+# Reading / replay
+# ----------------------------------------------------------------------
+def read_events(path: str, include_rotated: bool = True) -> Iterator[dict]:
+    """Yield logged events oldest-first (rotated file first).
+
+    Unparseable lines (a crash mid-write on the final line) are
+    skipped, not fatal — a log viewer must work on imperfect logs.
+    """
+    paths = [path + ".1", path] if include_rotated else [path]
+    for p in paths:
+        if not os.path.exists(p):
+            continue
+        with open(p, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(event, dict):
+                    yield event
+
+
+def render_event(event: dict) -> str:
+    """One human-readable line per event (``repro-obs --log``)."""
+    ts = event.get("ts")
+    when = (
+        time.strftime("%H:%M:%S", time.localtime(ts)) if isinstance(ts, (int, float))
+        else "--:--:--"
+    )
+    op = event.get("op", "?")
+    latency = event.get("latency_ms")
+    shown = f"{latency:.3f} ms" if isinstance(latency, (int, float)) else "-"
+    bits = [f"{when}  {op:<8} {shown:>12}"]
+    if event.get("error"):
+        bits.append(f"error={event['error']}")
+    if "results_emitted" in event:
+        bits.append(f"rows={event['results_emitted']}")
+    if event.get("plan_cached") is not None:
+        bits.append("plan=hit" if event["plan_cached"] else "plan=miss")
+    if event.get("trace_id"):
+        bits.append(f"trace={event['trace_id']}")
+    if event.get("sql"):
+        sql = event["sql"]
+        bits.append(sql if len(sql) <= 48 else sql[:45] + "...")
+    return "  ".join(bits)
+
+
+def replay_events(
+    events: Iterator[dict],
+    call: "Any",
+    include_mutations: bool = False,
+) -> dict:
+    """Re-issue logged SQL requests through ``call(op, **fields)``.
+
+    Only self-contained statements replay — ``query`` (re-fetching the
+    logged ``results_emitted`` rows, default one page) and ``explain``;
+    ``fetch``/``close`` reference cursors of the original run and are
+    skipped, as are ``mutate`` events unless ``include_mutations`` (a
+    replay against a live server should not rewrite its data by
+    accident).  Returns a summary with per-event outcomes.
+    """
+    outcomes = []
+    replayed = skipped = failed = 0
+    for event in events:
+        op = event.get("op")
+        sql = event.get("sql")
+        if op not in ("query", "explain", "mutate") or not sql:
+            skipped += 1
+            continue
+        if op == "mutate" and not include_mutations:
+            skipped += 1
+            continue
+        fields: dict[str, Any] = {"sql": sql}
+        if op == "query":
+            emitted = event.get("results_emitted")
+            fields["fetch"] = int(emitted) if isinstance(emitted, int) else 1
+        start = time.perf_counter()
+        try:
+            response = call(op, **fields)
+            error = (
+                response.get("error", {}).get("code")
+                if isinstance(response, dict) and not response.get("ok", True)
+                else None
+            )
+        except Exception as exc:
+            error = f"{type(exc).__name__}: {exc}"
+            response = None
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        if error:
+            failed += 1
+        else:
+            replayed += 1
+        outcomes.append(
+            {
+                "op": op,
+                "sql_hash": event.get("sql_hash"),
+                "original_latency_ms": event.get("latency_ms"),
+                "replay_latency_ms": round(latency_ms, 4),
+                "error": error,
+            }
+        )
+    return {
+        "replayed": replayed,
+        "skipped": skipped,
+        "failed": failed,
+        "outcomes": outcomes,
+    }

@@ -39,15 +39,55 @@ import time
 from collections import OrderedDict
 from typing import Any, Iterator, Optional
 
-#: Process-unique prefix so ids from different processes never collide
-#: when folded into one log.
-_ID_PREFIX = f"{os.getpid():x}"
 _ids = itertools.count(1)
 
 
 def new_trace_id() -> str:
-    """A process-unique trace id (cheap: no entropy pool, no UUID)."""
-    return f"t{_ID_PREFIX}-{next(_ids):x}"
+    """A process-unique trace id (cheap: no entropy pool, no UUID).
+
+    The pid is read per call, not at import: a ``fork``-spawned shard
+    worker inherits this module already imported, and an import-time
+    prefix would make every worker mint the parent's ids.
+    """
+    return f"t{os.getpid():x}-{next(_ids):x}"
+
+
+#: The traceparent version prefix we emit (W3C-style ``version-traceid-
+#: parentid-flags``; our ids are process-scoped strings, not 16-byte hex).
+TRACEPARENT_VERSION = "00"
+
+
+def format_traceparent(trace_id: str, span_id: str) -> str:
+    """Render a W3C-traceparent-style context string for the wire.
+
+    The protocol's ``trace_context`` request field carries this; the
+    server adopts ``trace_id`` and parents its root span under
+    ``span_id``, so client-side and server-side spans form one tree.
+    """
+    return f"{TRACEPARENT_VERSION}-{trace_id}-{span_id}-01"
+
+
+def parse_traceparent(value: Any) -> Optional[tuple[str, str]]:
+    """``(trace_id, parent_span_id)`` from a traceparent string, or None.
+
+    Lenient by design — a malformed context must degrade to "no
+    propagation", never fail the request.  Trace ids may themselves
+    contain dashes (ours do: ``t<pid>-<n>``), so the parent id and the
+    flags are split from the *right*.
+    """
+    if not isinstance(value, str):
+        return None
+    parts = value.split("-")
+    if len(parts) < 4:
+        return None
+    version = parts[0]
+    if len(version) != 2 or not all(c in "0123456789abcdef" for c in version):
+        return None
+    trace_id = "-".join(parts[1:-2])
+    parent_id = parts[-2]
+    if not trace_id or not parent_id:
+        return None
+    return trace_id, parent_id
 
 
 class Span:
@@ -188,8 +228,21 @@ class Tracer:
         #: request id (as string) -> trace_id, bounded alongside the ring.
         self._by_request: "OrderedDict[str, str]" = OrderedDict()
         self._span_ids = itertools.count(1)
+        # Captured at construction (not import) so a Tracer built inside
+        # a fork-spawned shard worker carries the *worker's* pid — span
+        # ids from four workers and their coordinator must never collide
+        # once grafted into one trace (a collision makes the rendered
+        # tree cyclic).
+        self._id_prefix = f"{os.getpid():x}"
         self.traces_started = 0
+        self.traces_joined = 0
         self.traces_dropped = 0
+
+    def _new_span_id(self) -> str:
+        # Process-prefixed (dot-separated: dashes would break traceparent
+        # splitting) so client and server span ids never collide when a
+        # propagated trace is joined across processes.
+        return f"s{self._id_prefix}.{next(self._span_ids):x}"
 
     # ------------------------------------------------------------------
     # Recording
@@ -200,39 +253,65 @@ class Tracer:
     def disable(self) -> None:
         self.enabled = False
 
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the ring (``repro-serve --trace-capacity``); evicts the
+        oldest traces immediately if the new capacity is smaller."""
+        if capacity < 1:
+            raise ValueError("trace ring capacity must be >= 1")
+        with self._lock:
+            self.capacity = capacity
+            while len(self._ring) > self.capacity:
+                self._evict_oldest_locked()
+
+    def _evict_oldest_locked(self) -> None:
+        dropped_id, _ = self._ring.popitem(last=False)
+        self.traces_dropped += 1
+        # Drop the request index entries too (linear scan is fine: it
+        # runs once per evicted trace, over a bounded dict).
+        for key, value in list(self._by_request.items()):
+            if value == dropped_id:
+                del self._by_request[key]
+
     def start_trace(
         self,
         name: str,
         request_id: Any = None,
         trace_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
         **attrs: Any,
     ):
-        """Open a root span under a fresh trace; returns the span.
+        """Open a root span under a (possibly propagated) trace.
 
         ``request_id`` (the protocol envelope id) indexes the trace for
         ``trace`` op lookup by request.  A caller-provided ``trace_id``
-        (e.g. propagated from an upstream coordinator) is honored.
+        (e.g. from a ``trace_context`` request field) is *adopted*: if
+        the ring already buffers that trace — the caller lives in this
+        process — the new root span joins the existing record instead of
+        replacing it, so client-side and server-side spans of one
+        request land in one tree.  ``parent_id`` (the traceparent's
+        parent span id) links this root under the propagating caller's
+        span even across process boundaries.
         """
         if not self.enabled:
             return NOOP_SPAN
         tid = trace_id or new_trace_id()
-        record = _TraceRecord(tid)
-        record.op = name
-        record.request_id = request_id
         with self._lock:
-            self.traces_started += 1
-            self._ring[tid] = record
+            record = self._ring.get(tid) if trace_id is not None else None
+            if record is None:
+                record = _TraceRecord(tid)
+                record.op = name
+                self.traces_started += 1
+                self._ring[tid] = record
+            else:
+                # Joining an adopted trace keeps it hot in the ring.
+                self.traces_joined += 1
+                self._ring.move_to_end(tid)
             if request_id is not None:
+                record.request_id = request_id
                 self._by_request[str(request_id)] = tid
             while len(self._ring) > self.capacity:
-                dropped_id, _ = self._ring.popitem(last=False)
-                self.traces_dropped += 1
-                # Drop the request index entry too (linear scan is fine:
-                # it runs once per evicted trace, over a bounded dict).
-                for key, value in list(self._by_request.items()):
-                    if value == dropped_id:
-                        del self._by_request[key]
-        span = Span(self, tid, f"s{next(self._span_ids):x}", None, name, attrs)
+                self._evict_oldest_locked()
+        span = Span(self, tid, self._new_span_id(), parent_id, name, attrs)
         span._token = _current_span.set(span)
         record.spans.append(span)
         return span
@@ -251,7 +330,7 @@ class Tracer:
         span = Span(
             self,
             parent.trace_id,
-            f"s{next(self._span_ids):x}",
+            self._new_span_id(),
             parent.span_id,
             name,
             attrs,
@@ -267,6 +346,61 @@ class Tracer:
     def current_trace_id(self) -> Optional[str]:
         span = _current_span.get()
         return span.trace_id if span is not None else None
+
+    def current_span(self) -> Optional[Span]:
+        """The context's innermost open span (None outside any trace)."""
+        return _current_span.get()
+
+    def graft(
+        self,
+        anchor: Any,
+        spans: list,
+        base_start_s: Optional[float] = None,
+    ) -> int:
+        """Splice remote span dicts into ``anchor``'s trace.
+
+        ``spans`` is a list of :meth:`Span.to_dict`-shaped dicts shipped
+        across a process boundary (a shard worker's done frame).  Their
+        ids are remote-process-unique already; spans without a parent in
+        the shipped batch are re-parented under ``anchor``, so a
+        worker's subtree hangs off the coordinator's span.  Remote
+        ``start_ms`` offsets are rebased onto ``base_start_s`` (a
+        perf_counter stamp in *this* process — normally when the worker
+        was launched) so the merged timeline stays roughly ordered.
+        Returns the number of spans grafted (0 when disabled, the
+        anchor is a no-op span, or the trace was already evicted).
+        """
+        if not self.enabled or not spans or not isinstance(anchor, Span):
+            return 0
+        with self._lock:
+            record = self._ring.get(anchor.trace_id)
+        if record is None:  # trace already evicted mid-flight
+            return 0
+        if base_start_s is None:
+            base_start_s = anchor.start_s
+        shipped_ids = {s.get("span_id") for s in spans}
+        grafted = 0
+        for shipped in spans:
+            span_id = shipped.get("span_id")
+            if not span_id:
+                continue
+            parent_id = shipped.get("parent_id")
+            if parent_id not in shipped_ids:
+                parent_id = anchor.span_id
+            span = Span(
+                self,
+                anchor.trace_id,
+                span_id,
+                parent_id,
+                str(shipped.get("name", "?")),
+                dict(shipped.get("attrs") or {}),
+            )
+            span.start_s = base_start_s + float(shipped.get("start_ms") or 0.0) / 1000.0
+            span.duration_ms = shipped.get("duration_ms")
+            span.error = shipped.get("error")
+            record.spans.append(span)
+            grafted += 1
+        return grafted
 
     def _finish_span(self, span: Span) -> None:
         # Spans are already threaded into their record; finishing is just
@@ -307,6 +441,7 @@ class Tracer:
                 "capacity": self.capacity,
                 "buffered": len(self._ring),
                 "started": self.traces_started,
+                "joined": self.traces_joined,
                 "dropped": self.traces_dropped,
             }
 
@@ -335,9 +470,15 @@ def _render_record(record: _TraceRecord) -> dict:
 def render_trace_tree(trace: dict) -> str:
     """A human-readable indented rendering of one :meth:`Tracer.get` dict."""
     spans = trace.get("spans", ())
+    known = {span["span_id"] for span in spans}
     children: dict[Optional[str], list[dict]] = {}
     for span in spans:
-        children.setdefault(span.get("parent_id"), []).append(span)
+        parent = span.get("parent_id")
+        if parent is not None and parent not in known:
+            # A propagated root whose parent lives in another process's
+            # buffer (the traceparent's span id): render it as a root.
+            parent = None
+        children.setdefault(parent, []).append(span)
 
     lines = [
         f"trace {trace['trace_id']}"
@@ -361,6 +502,32 @@ def render_trace_tree(trace: dict) -> str:
 
     lines.extend(walk(None, 1))
     return "\n".join(lines)
+
+
+def join_traces(local: Optional[dict], remote: Optional[dict]) -> Optional[dict]:
+    """Merge two rendered trace dicts for the *same* trace id.
+
+    ``local`` is the caller's view (e.g. the client's connect/serialize/
+    wait spans), ``remote`` the server's.  Used by
+    :meth:`repro.server.client.Client.trace` to present one tree when
+    the two processes each buffered half of a propagated trace.  Spans
+    are concatenated local-first with de-duplicated ids; ``start_ms``
+    offsets stay per-origin (they share a root only logically — the
+    clocks are different processes'), which is fine for tree rendering
+    because parenting is by span id, not by time.
+    """
+    if not local:
+        return remote
+    if not remote or remote.get("trace_id") != local.get("trace_id"):
+        return local
+    seen = {span["span_id"] for span in local.get("spans", ())}
+    merged = dict(remote)
+    merged["spans"] = list(local.get("spans", ())) + [
+        span for span in remote.get("spans", ()) if span["span_id"] not in seen
+    ]
+    if local.get("request_id") is not None and merged.get("request_id") is None:
+        merged["request_id"] = local["request_id"]
+    return merged
 
 
 #: The process-wide tracer every instrumentation seam reports to.

@@ -17,7 +17,8 @@ generator, e.g. a server cursor being evicted) terminates the pool.
 
 RAM-model accounting: each worker counts into a private
 :class:`~repro.util.counters.Counters` and ships the snapshot in its
-final ``("done", {"counters": ..., "delay": ...})`` frame; the parent
+final ``("done", {"counters": ..., "delay": ..., "spans": ...})``
+frame; the parent
 folds finished workers' snapshots into the caller's counters, so a
 drained parallel run reports the same kind of totals a serial run does.
 When the caller passes a :class:`~repro.obs.delay.DelayProfile`, each
@@ -26,6 +27,15 @@ inter-result delay as seen *inside* the worker, no IPC on that path)
 and the parent files the returned snapshots under ``profile.shards`` —
 attribution, not aggregation, so the parent's own measurement of the
 merged stream is never double counted.
+
+Trace propagation: when :func:`parallel_rank_enumerate` is called while
+a span is open on the process-wide tracer (the executor's
+``execute.setup``), each worker records real spans — ``setup``,
+``enumerate``, per-chunk ``chunk_put`` — in a private tracer, ships the
+rendered span dicts home in the done frame, and the parent grafts them
+under the open span as a ``shard[i]`` subtree.  A sharded query's
+``trace`` op response therefore shows per-worker timing, not just
+counters.
 """
 
 from __future__ import annotations
@@ -35,6 +45,8 @@ import itertools
 import multiprocessing
 import queue as queue_module
 import threading
+import time
+from contextlib import nullcontext
 from typing import Any, Iterator, Optional, TYPE_CHECKING
 
 from repro.anyk.ranking import (
@@ -151,34 +163,64 @@ def _worker_main(
     k: Optional[int],
     chunk_size: int,
     profile_delay: bool = False,
+    trace_spans: bool = False,
 ) -> None:
     """Worker entry point (module-level so spawn contexts can import it)."""
     counters = Counters()
-    try:
-        ranking = ranking_by_name(ranking_name)
-        stream = shard_stream(
-            db, query, ranking=ranking, method=method, k=k, counters=counters
-        )
-        profile = None
-        if profile_delay:
-            from repro.obs.delay import DelayProfile
+    wtracer = root = None
+    if trace_spans:
+        # A private single-trace tracer: worker spans (setup, enumerate,
+        # chunk_put) ship home in the done frame and are grafted under
+        # the coordinator's execute span — the worker never talks to the
+        # parent's ring directly.
+        from repro.obs.trace import Tracer
 
-            profile = DelayProfile(engine=method)
-            stream = profile.wrap(stream)
+        wtracer = Tracer(capacity=1, enabled=True)
+        root = wtracer.start_trace("shard", method=method, k=k)
+
+    def stage(name: str, **attrs: Any):
+        return nullcontext() if wtracer is None else wtracer.span(name, **attrs)
+
+    try:
+        with stage("setup"):
+            ranking = ranking_by_name(ranking_name)
+            stream = shard_stream(
+                db, query, ranking=ranking, method=method, k=k, counters=counters
+            )
+            profile = None
+            if profile_delay:
+                from repro.obs.delay import DelayProfile
+
+                profile = DelayProfile(engine=method)
+                stream = profile.wrap(stream)
         chunk: list[tuple[tuple, Any]] = []
-        for item in stream:
-            chunk.append(item)
-            if len(chunk) >= chunk_size:
-                out_queue.put(("rows", chunk))
-                chunk = []
-        if chunk:
-            out_queue.put(("rows", chunk))
+        emitted = 0
+        with stage("enumerate") as enum_span:
+            for item in stream:
+                chunk.append(item)
+                if len(chunk) >= chunk_size:
+                    emitted += len(chunk)
+                    with stage("chunk_put", rows=len(chunk)):
+                        out_queue.put(("rows", chunk))
+                    chunk = []
+            if chunk:
+                emitted += len(chunk)
+                with stage("chunk_put", rows=len(chunk)):
+                    out_queue.put(("rows", chunk))
+            if wtracer is not None:
+                enum_span.set(rows=emitted)
+        spans = None
+        if wtracer is not None:
+            root.finish()
+            rendered = wtracer.get(root.trace_id)
+            spans = rendered["spans"] if rendered else None
         out_queue.put(
             (
                 "done",
                 {
                     "counters": counters.snapshot(),
                     "delay": None if profile is None else profile.snapshot(),
+                    "spans": spans,
                 },
             )
         )
@@ -213,6 +255,7 @@ class _ShardFeed:
         chunk_size: int,
         counters: Optional[Counters],
         profile: Optional["DelayProfile"] = None,
+        trace_anchor: Any = None,
     ) -> None:
         self._queue = context.Queue(maxsize=QUEUE_DEPTH)
         self._process = context.Process(
@@ -226,15 +269,19 @@ class _ShardFeed:
                 k,
                 chunk_size,
                 profile is not None,
+                trace_anchor is not None,
             ),
             daemon=True,
         )
         self._shard_index = shard.index
         self._counters = counters
         self._profile = profile
+        self._anchor = trace_anchor
+        self._start_s: Optional[float] = None
         self._finished = False
 
     def start(self) -> None:
+        self._start_s = time.perf_counter()
         self._process.start()
 
     def _fold_done(self, payload: dict) -> None:
@@ -250,6 +297,16 @@ class _ShardFeed:
             # double count every result).
             delay["shard"] = self._shard_index
             self._profile.shards.append(delay)
+        spans = payload.get("spans")
+        if self._anchor is not None and spans:
+            # Graft the worker's subtree under the coordinator's execute
+            # span; the shipped root is renamed to carry its shard index.
+            for span in spans:
+                if span.get("parent_id") is None:
+                    span["name"] = f"shard[{self._shard_index}]"
+            from repro.obs.trace import tracer
+
+            tracer.graft(self._anchor, spans, base_start_s=self._start_s)
 
     def __iter__(self) -> Iterator[tuple[tuple, Any]]:
         while True:
@@ -288,16 +345,39 @@ class _ShardFeed:
         in the caller's counters even when the consumer stopped early.
         Workers still mid-enumeration lose their counts — the price of
         termination, not worth a handshake.
+
+        With tracing active the drain additionally waits a short,
+        bounded grace period: ``k`` is pushed down to every worker, so a
+        worker cut off by the global top-k finishes its own (at most k)
+        results moments later — waiting for its done frame is what makes
+        all per-shard subtrees land in the coordinator's trace instead
+        of only the lucky ones.
         """
         if not self._finished:
-            try:
-                while True:
+            grace_s = 2.0 if self._anchor is not None else 0.0
+            deadline = time.perf_counter() + grace_s
+            while not self._finished:
+                try:
                     kind, payload = self._queue.get_nowait()
-                    if kind == "done":
-                        self._fold_done(payload)
+                except queue_module.Empty:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
                         break
-            except queue_module.Empty:
-                pass
+                    if not self._process.is_alive():
+                        # Exited: anything still in the pipe lands shortly.
+                        try:
+                            kind, payload = self._queue.get(timeout=0.2)
+                        except queue_module.Empty:
+                            break
+                    else:
+                        try:
+                            kind, payload = self._queue.get(
+                                timeout=min(remaining, _POLL_S)
+                            )
+                        except queue_module.Empty:
+                            continue
+                if kind == "done":
+                    self._fold_done(payload)
         if self._process.pid is not None and self._process.is_alive():
             self._process.terminate()
         if self._process.pid is not None:
@@ -344,6 +424,12 @@ def parallel_rank_enumerate(
     )
     live = [shard for shard in shards if not shard.is_trivially_empty()]
     context = _pool_context()
+    # When this call happens inside an open span (the executor's
+    # execute.setup), workers record their own spans and ship them back
+    # in the done frame; each feed grafts its subtree under that anchor.
+    from repro.obs.trace import tracer as _tracer
+
+    anchor = _tracer.current_span() if _tracer.enabled else None
     feeds = [
         _ShardFeed(
             context,
@@ -354,6 +440,7 @@ def parallel_rank_enumerate(
             chunk_size,
             counters,
             profile=profile,
+            trace_anchor=anchor,
         )
         for shard in live
     ]

@@ -19,6 +19,13 @@ import threading
 from typing import Any, Iterator, Optional
 
 import repro.server.protocol as protocol
+from repro.obs.trace import (
+    NOOP_SPAN,
+    format_traceparent,
+    join_traces,
+    render_trace_tree,
+    tracer,
+)
 
 
 class ServerError(Exception):
@@ -53,8 +60,18 @@ class Client:
         timeout: Optional[float] = None,
         deadline_ms: Optional[int] = None,
     ) -> None:
-        self._socket = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._socket.makefile("rwb")
+        # Client-side spans record only when the process tracer is
+        # enabled (it never is for a plain wire client unless the
+        # application opts in) — the connect cost then shows up as its
+        # own little trace.
+        connect = (
+            tracer.start_trace("client.connect", host=host, port=port)
+            if tracer.enabled
+            else NOOP_SPAN
+        )
+        with connect:
+            self._socket = socket.create_connection((host, port), timeout=timeout)
+            self._file = self._socket.makefile("rwb")
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         #: Default per-request deadline attached to every call (None: no
@@ -65,16 +82,35 @@ class Client:
     # Round trips
     # ------------------------------------------------------------------
     def call(self, op: str, **fields: Any) -> dict:
-        """One raw protocol round trip (public for protocol tinkering)."""
+        """One raw protocol round trip (public for protocol tinkering).
+
+        When the process tracer is enabled, the round trip records
+        client-side spans (``serialize``, ``wait``) under a
+        ``client.<op>`` root and propagates the trace id to the server
+        via the ``trace_context`` field — the server adopts it, so
+        :meth:`trace` can show one tree spanning both sides.
+        """
         if fields.get("deadline_ms") is None:
             fields.pop("deadline_ms", None)
             if self.deadline_ms is not None:
                 fields["deadline_ms"] = self.deadline_ms
         request = {"id": next(self._ids), "op": op, **fields}
-        with self._lock:
-            self._file.write(protocol.encode(request))
-            self._file.flush()
-            line = self._file.readline()
+        root = (
+            tracer.start_trace(f"client.{op}", request_id=request["id"])
+            if tracer.enabled
+            else NOOP_SPAN
+        )
+        trace_id = getattr(root, "trace_id", None)
+        if trace_id is not None:
+            request["trace_context"] = format_traceparent(trace_id, root.span_id)
+        with root:
+            with self._lock:
+                with tracer.span("serialize"):
+                    payload = protocol.encode(request)
+                    self._file.write(payload)
+                    self._file.flush()
+                with tracer.span("wait"):
+                    line = self._file.readline()
         if not line:
             raise ConnectionError("server closed the connection")
         response = protocol.decode_line(line)
@@ -149,6 +185,20 @@ class Client:
         if request is not None:
             fields["request"] = request
         response = self.call("trace", **fields)
+        out = {k: v for k, v in response.items() if k not in ("id", "ok")}
+        if trace_id is not None and tracer.enabled and "trace" in out:
+            # This process may hold the client half of a propagated
+            # trace (connect/serialize/wait spans); present one tree.
+            joined = join_traces(tracer.get(trace_id), out["trace"])
+            if joined is not None and joined is not out["trace"]:
+                out["trace"] = joined
+                out["rendered"] = render_trace_tree(joined)
+        return out
+
+    def slo(self) -> dict:
+        """The server's SLO evaluation: per-spec multi-window burn rates
+        and ok/warn/page verdicts (see :mod:`repro.obs.slo`)."""
+        response = self.call("slo")
         return {k: v for k, v in response.items() if k not in ("id", "ok")}
 
     def mutate(self, sql: str) -> dict:

@@ -5,8 +5,9 @@ the simplest framing that composes with ``nc``, log files, and every
 language's standard library.  All requests share the envelope::
 
     {"id": <any>, "op": "query" | "fetch" | "explain" | "mutate" | "close"
-     | "stats" | "metrics" | "trace", ...op fields...,
-     "deadline_ms": <optional int>}
+     | "stats" | "metrics" | "trace" | "slo", ...op fields...,
+     "deadline_ms": <optional int>,
+     "trace_context": <optional W3C-traceparent-style string>}
 
 and all responses echo the id::
 
@@ -46,7 +47,18 @@ Op fields (see :class:`repro.server.service.QueryService` for semantics):
     ``trace`` (optional: a trace id, as echoed in every response's
     ``trace_id``) or ``request`` (optional: a request envelope id).
     Returns the buffered span tree; with neither field, the newest
-    buffered traces.
+    buffered traces.  A trace/request id the ring no longer (or never)
+    buffered answers with an ``unknown_trace`` error.
+``slo``
+    no fields.  Returns the server's SLO evaluation: per-spec
+    multi-window burn rates and an ok/warn/page verdict each, plus the
+    worst overall status.
+
+``trace_context`` (any op) carries a W3C-traceparent-style string
+(``00-<trace_id>-<parent_span_id>-01``): the server *adopts* the
+caller's trace id and parents its request root span under the caller's
+span, so client-side and server-side spans form one tree retrievable
+via the ``trace`` op.  Malformed contexts are ignored, never an error.
 
 ``deadline_ms`` bounds row production for this request: the server stops
 pulling results once the deadline passes and returns the partial batch
@@ -76,12 +88,14 @@ OPS: dict[str, tuple[str, ...]] = {
     "stats": (),
     "metrics": (),
     "trace": (),
+    "slo": (),
 }
 
 # Error codes (the machine-readable half of every failure).
 BAD_REQUEST = "bad_request"
 SQL_ERROR = "sql_error"
 UNKNOWN_CURSOR = "unknown_cursor"
+UNKNOWN_TRACE = "unknown_trace"
 CURSOR_LIMIT = "cursor_limit"
 INTERNAL = "internal"
 
@@ -168,6 +182,9 @@ def validate_request(request: dict) -> str:
         request["trace"], str
     ):
         raise ProtocolError("'trace' must be a string (a trace id)")
+    context = request.get("trace_context")
+    if context is not None and not isinstance(context, str):
+        raise ProtocolError("'trace_context' must be a traceparent string")
     return op
 
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from repro.anyk.api import PausableStream, StreamClosed
 from repro.data.database import Database
@@ -23,8 +23,17 @@ from repro.engine.catalog import StatsCache, database_fingerprint
 from repro.engine.executor import apply_mutation, execute
 from repro.engine.planner import plan_compiled
 from repro.obs.delay import DELAY_BOUNDS, DelayProfile
+from repro.obs.events import EventLog
 from repro.obs.registry import MetricsRegistry
-from repro.obs.trace import render_trace_tree, tracer
+from repro.obs.slo import (
+    DEFAULT_SLOS,
+    DEFAULT_WINDOWS_S,
+    SloEngine,
+    parse_slos,
+    spec_counts,
+)
+from repro.obs.trace import parse_traceparent, render_trace_tree, tracer
+from repro.util.histogram import Histogram
 from repro.query.cq import QueryError
 # Submodule-style import: safe under the package's partially-initialized
 # state when ``repro.server/__init__`` pulls this module in (PEP 328's
@@ -73,6 +82,19 @@ class QueryService:
     readonly:
         Refuse ``mutate`` requests with a clean ``sql_error``
         (``repro-serve --readonly``).
+    trace_capacity:
+        Resize the process tracer's ring buffer
+        (``repro-serve --trace-capacity``; None keeps the current size).
+    event_log:
+        An :class:`~repro.obs.events.EventLog` to record sampled
+        per-request events into (``repro-serve --query-log``).
+    slos:
+        SLO spec strings (see :mod:`repro.obs.slo`) evaluated over
+        rolling windows and served by the ``slo`` op.  None means the
+        generous :data:`~repro.obs.slo.DEFAULT_SLOS`; an explicit empty
+        sequence disables evaluation.
+    slo_windows_s:
+        Rolling window lengths in seconds for burn-rate evaluation.
     """
 
     def __init__(
@@ -85,6 +107,10 @@ class QueryService:
         idle_evict_s: Optional[float] = 600.0,
         workers: int = 1,
         readonly: bool = False,
+        trace_capacity: Optional[int] = None,
+        event_log: Optional[EventLog] = None,
+        slos: Optional[Sequence[str]] = None,
+        slo_windows_s: Sequence[float] = DEFAULT_WINDOWS_S,
     ) -> None:
         self.versioned = (
             db if isinstance(db, VersionedDatabase) else VersionedDatabase(db)
@@ -110,11 +136,15 @@ class QueryService:
         self._fetches = 0
         self._rows_served = 0
         self._mutations = 0
+        self._requests = 0
+        self._errors = 0
         # Observability: one metrics registry per service (tests stay
         # isolated), the *process* tracer enabled once (spans are
         # per-request, far off the per-result hot path), and per-engine
         # anytime-delay aggregates folded from cursors as they retire.
         tracer.enable()
+        if trace_capacity is not None:
+            tracer.set_capacity(trace_capacity)
         self.registry = MetricsRegistry()
         #: Per-op request wall time (ms) — errors included, since a
         #: failing request still costs the server time.  Backs the
@@ -136,11 +166,28 @@ class QueryService:
             "In-engine wall time to the first result in ms, by engine",
             labelnames=("engine",),
         )
+        self._errors_metric = self.registry.counter(
+            "repro_errors_total",
+            "Error responses by op and error code",
+            labelnames=("op", "code"),
+        )
         self._delay_lock = threading.Lock()
         #: engine name -> aggregate :class:`DelayProfile` (the ``stats``
         #: op's ``delay_profiles`` section).
         self.delay_profiles: dict[str, DelayProfile] = {}
         self.registry.add_collector(self._collect_samples)
+        #: Sampled per-request JSON-lines log (None: not configured).
+        self.event_log = event_log
+        # Declarative SLOs over the registry's histograms + the request/
+        # error totals, evaluated with multi-window burn rates by the
+        # ``slo`` op.  The engine is pull-driven: ``handle`` ticks it
+        # (time-gated) so rolling windows fill under steady load.
+        self._slo_specs = parse_slos(DEFAULT_SLOS if slos is None else slos)
+        self._slo_engine: Optional[SloEngine] = (
+            SloEngine(self._slo_specs, self._slo_counts, windows_s=slo_windows_s)
+            if self._slo_specs
+            else None
+        )
 
     @property
     def db(self) -> Database:
@@ -468,6 +515,8 @@ class QueryService:
                 "fetches": self._fetches,
                 "rows_served": self._rows_served,
                 "mutations": self._mutations,
+                "requests": self._requests,
+                "errors": self._errors,
             }
         snapshot = self.versioned.snapshot()
         return {
@@ -486,6 +535,10 @@ class QueryService:
             "op_latency_ms": self._op_latency_summary(),
             "delay_profiles": self.delay_summaries(),
             "tracer": tracer.info(),
+            "event_log": (
+                self.event_log.info() if self.event_log is not None else None
+            ),
+            "slo": self.slo(),
         }
 
     def _op_latency_summary(self) -> dict:
@@ -546,9 +599,52 @@ class QueryService:
             wanted = trace_id if trace_id is not None else f"request {request!r}"
             raise protocol.ProtocolError(
                 f"no buffered trace for {wanted} (the ring keeps the last "
-                f"{tracer.capacity} traces)"
+                f"{tracer.capacity} traces)",
+                code=protocol.UNKNOWN_TRACE,
             )
         return {"trace": found, "rendered": render_trace_tree(found)}
+
+    # ------------------------------------------------------------------
+    # SLOs
+    # ------------------------------------------------------------------
+    def _slo_histogram_for(self, indicator: str) -> Optional[Histogram]:
+        """The merged latency histogram behind one SLO indicator."""
+        if indicator in ("ttf", "delay"):
+            family = self._ttf_metric if indicator == "ttf" else self._delay_metric
+            merged: Optional[Histogram] = None
+            for _labels, child in family.children():
+                clone = child.copy()
+                merged = clone if merged is None else merged.merge(clone)
+            return merged
+        for labels, child in self._op_latency.children():
+            if labels.get("op") == indicator:
+                return child.copy()
+        return None
+
+    def _requests_errors(self) -> tuple[int, int]:
+        with self._metrics_lock:
+            return (self._requests, self._errors)
+
+    def _slo_counts(self) -> list[tuple[int, int]]:
+        """Cumulative ``(total, bad)`` per configured spec (the SLO
+        engine's snapshot source)."""
+        return [
+            spec_counts(spec, self._slo_histogram_for, self._requests_errors)
+            for spec in self._slo_specs
+        ]
+
+    def slo(self) -> dict:
+        """Evaluate the configured SLOs (the ``slo`` op)."""
+        if self._slo_engine is None:
+            return {
+                "status": "ok",
+                "windows_s": [],
+                "slos": [],
+                "specs": [],
+            }
+        report = self._slo_engine.evaluate()
+        report["specs"] = [spec.raw for spec in self._slo_specs]
+        return report
 
     def _collect_samples(self):
         """Pull-time gauge samples for the registry (export-time only)."""
@@ -598,6 +694,8 @@ class QueryService:
         """Close every open cursor (their work still lands in stats)."""
         for cursor in self.cursors.close_all():
             self._retire(cursor)
+        if self.event_log is not None:
+            self.event_log.close()
 
     # ------------------------------------------------------------------
     # Protocol entry point
@@ -616,7 +714,19 @@ class QueryService:
             else None
         )
         started = time.perf_counter()
-        root = tracer.start_trace(op, request_id=request_id)
+        # Trace propagation: a caller-supplied traceparent adopts the
+        # caller's trace id and parents this request's root span under
+        # the caller's span — client-side and server-side spans of one
+        # request form one tree.  Malformed contexts degrade to a fresh
+        # trace, never an error.
+        context = parse_traceparent(request.get("trace_context"))
+        root = tracer.start_trace(
+            op,
+            request_id=request_id,
+            trace_id=context[0] if context else None,
+            parent_id=context[1] if context else None,
+        )
+        response: dict = {}
         try:
             with root:
                 response = self._dispatch(request_id, op, request, deadline)
@@ -627,9 +737,24 @@ class QueryService:
                 response.setdefault("trace_id", trace_id)
             return response
         finally:
-            self._op_latency.labels(op=op).observe(
-                (time.perf_counter() - started) * 1000.0
-            )
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            self._op_latency.labels(op=op).observe(elapsed_ms)
+            error = response.get("error") if response else None
+            with self._metrics_lock:
+                self._requests += 1
+                if error:
+                    self._errors += 1
+            if error:
+                self._errors_metric.labels(
+                    op=op, code=error.get("code", "internal")
+                ).inc()
+            if self.event_log is not None:
+                try:
+                    self.event_log.record_request(request, response, elapsed_ms)
+                except Exception:
+                    pass  # a full disk must not fail the request
+            if self._slo_engine is not None:
+                self._slo_engine.tick()
 
     def _dispatch(
         self,
@@ -671,6 +796,8 @@ class QueryService:
                     trace_id=request.get("trace"),
                     request=request.get("request"),
                 )
+            elif op == "slo":
+                payload = self.slo()
             else:  # "stats" — validate_request admits nothing else
                 payload = self.stats()
         except protocol.ProtocolError as exc:

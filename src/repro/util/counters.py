@@ -108,7 +108,7 @@ class Counters:
         Keeps ``(count, total, max)`` per name — enough for the
         count/mean/max summaries the server's ``stats`` op reports —
         without unbounded per-sample storage.  Full percentile tracking
-        lives in :class:`repro.workload.histogram.Histogram`; this is the
+        lives in :class:`repro.util.histogram.Histogram`; this is the
         always-on, O(1)-memory server-side companion.
         """
         with self._lock:

@@ -18,10 +18,12 @@ Layers (each usable on its own):
   the built-in :data:`~repro.workload.scenarios.SCENARIOS` registry;
   :func:`~repro.workload.scenarios.build_trace` is the determinism
   boundary;
-- :mod:`repro.workload.histogram` — mergeable fixed-bucket latency
+- :mod:`repro.util.histogram` — mergeable fixed-bucket latency
   histograms (shard-per-thread, fold at the end);
+  :mod:`repro.workload.histogram` remains as a deprecated import shim;
 - :mod:`repro.workload.metrics` — per-op latency, time-to-first/k'th
-  result, throughput windows, and the SLO report (text + JSON);
+  result, throughput windows, and the SLO report (text + JSON) with
+  per-spec burn-rate verdicts (:func:`~repro.workload.metrics.evaluate_slos`);
 - :mod:`repro.workload.driver` — the threaded multi-client wire and
   in-process drivers;
 - :mod:`repro.workload.validate` — sampled pages replayed against a
@@ -51,8 +53,13 @@ from repro.workload.driver import (
     run_scenario,
     run_trace,
 )
-from repro.workload.histogram import DEFAULT_BOUNDS, Histogram, geometric_bounds
-from repro.workload.metrics import MetricsCollector, build_report, render_text
+from repro.util.histogram import DEFAULT_BOUNDS, Histogram, geometric_bounds
+from repro.workload.metrics import (
+    MetricsCollector,
+    build_report,
+    evaluate_slos,
+    render_text,
+)
 from repro.workload.sampling import (
     HotspotSampler,
     Sampler,
@@ -105,6 +112,7 @@ __all__ = [
     "ZipfianSampler",
     "build_report",
     "build_trace",
+    "evaluate_slos",
     "geometric_bounds",
     "make_sampler",
     "normalize_page",

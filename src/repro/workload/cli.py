@@ -102,6 +102,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(default BENCH_workload.json; '' skips)",
     )
     parser.add_argument(
+        "--slo",
+        action="append",
+        metavar="SPEC",
+        default=None,
+        help="grade the run against this SLO spec instead of the "
+        "scenario's defaults, e.g. 'query_p99_ms<=25', 'ttfr_ms<=5', "
+        "'error_rate<=0.1%%' (repeatable; see repro.obs.slo)",
+    )
+    parser.add_argument(
         "--trace-only",
         action="store_true",
         help="print the materialized request trace as JSON and exit "
@@ -167,6 +176,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             return 64
 
+    if args.slo is not None:
+        from repro.obs.slo import SloError, parse_slos
+
+        try:
+            parse_slos(args.slo)
+        except SloError as exc:
+            print(f"repro-loadgen: bad --slo spec: {exc}", file=sys.stderr)
+            return 64
+
     result = run_scenario(
         scenario,
         seed=args.seed,
@@ -176,6 +194,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         connect=connect,
         sample=args.sample,
         service_options=None if args.connect else {"workers": args.workers},
+        slos=args.slo,
     )
     print(render_text(result.report))
     if args.json:

@@ -26,7 +26,7 @@ import random
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.server.client import Client, ServerError
 from repro.workload.metrics import MetricsCollector, build_report
@@ -243,6 +243,7 @@ def run_trace(
     mode: str,
     sample: float = 0.1,
     initial_db: Optional[Callable[[], object]] = None,
+    slos: Optional[Sequence[str]] = None,
 ) -> LoadResult:
     """Execute a materialized trace and assemble the SLO report.
 
@@ -355,6 +356,7 @@ def run_trace(
         metrics=metrics,
         validation=validation_json,
         server=server,
+        slos=slos,
     )
     return LoadResult(
         report=report, trace=trace, metrics=metrics, validation=validation
@@ -371,6 +373,7 @@ def run_scenario(
     connect: Optional[tuple[str, int]] = None,
     sample: float = 0.1,
     service_options: Optional[dict] = None,
+    slos: Optional[Sequence[str]] = None,
 ) -> LoadResult:
     """Build the trace, stand up (or dial) a server, run, report.
 
@@ -395,6 +398,9 @@ def run_scenario(
     def initial_db():
         return parse_generator_spec(scenario.dataset)
 
+    if slos is None:
+        slos = scenario.slos
+
     trace = build_trace(scenario, seed=seed, duration=duration, clients=clients)
 
     if mode == "inprocess":
@@ -411,6 +417,7 @@ def run_scenario(
             mode=mode,
             sample=sample,
             initial_db=initial_db,
+            slos=slos,
         )
     if mode != "wire":
         raise ValueError(f"unknown mode {mode!r}; known: inprocess, wire")
@@ -423,6 +430,7 @@ def run_scenario(
             mode=mode,
             sample=sample,
             initial_db=initial_db,
+            slos=slos,
         )
 
     from repro.dynamic import VersionedDatabase
@@ -439,6 +447,7 @@ def run_scenario(
             mode=mode,
             sample=sample,
             initial_db=initial_db,
+            slos=slos,
         )
     finally:
         server.shutdown()

@@ -4,15 +4,25 @@ The mergeable fixed-bucket histogram started life as the load
 generator's measurement primitive; once the server's per-op latency
 stats and the engine-side anytime-delay profiler (:mod:`repro.obs`)
 needed the same model, it was promoted to :mod:`repro.util`.  This
-module keeps the old import path working.
+module keeps the old import path working, with a
+:class:`DeprecationWarning` nudge toward the new one.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from repro.util.histogram import (
     DEFAULT_BOUNDS,
     Histogram,
     geometric_bounds,
+)
+
+warnings.warn(
+    "repro.workload.histogram moved to repro.util.histogram; "
+    "update the import (this shim will be removed in a future release)",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 __all__ = ["DEFAULT_BOUNDS", "Histogram", "geometric_bounds"]

@@ -2,10 +2,11 @@
 
 Each driver lane records into its own :class:`MetricsCollector` — no
 locks on the hot path — and the run merges them at the end (histograms
-merge exactly; see :mod:`repro.workload.histogram`).  The merged
-collector plus run metadata becomes the SLO report, rendered both as
-text for humans and as a JSON document (``BENCH_workload.json``) for
-trend tracking.
+merge exactly; see :mod:`repro.util.histogram`).  The merged collector
+plus run metadata becomes the SLO report — including per-spec burn-rate
+verdicts from :func:`evaluate_slos` (same spec language as the server's
+:mod:`repro.obs.slo` engine) — rendered both as text for humans and as
+a JSON document (``BENCH_workload.json``) for trend tracking.
 
 Latency taxonomy (all wall-clock at the driver, ms):
 
@@ -22,9 +23,10 @@ Latency taxonomy (all wall-clock at the driver, ms):
 from __future__ import annotations
 
 from collections import Counter as Multiset
-from typing import Optional
+from typing import Optional, Sequence
 
-from repro.workload.histogram import Histogram
+from repro.obs.slo import evaluate_specs, parse_slos, render_slo_report
+from repro.util.histogram import Histogram
 
 #: The ops that get their own latency histogram.
 OPS = ("query", "fetch", "mutate")
@@ -85,6 +87,36 @@ class MetricsCollector:
     def peak_window_ops(self) -> int:
         return max(self.windows.values(), default=0)
 
+    def histogram_for(self, indicator: str) -> Optional[Histogram]:
+        """Map an SLO latency indicator to the matching histogram.
+
+        Accepts the op names (``query``/``fetch``/``mutate``) plus the
+        driver's derived metrics: ``ttfr`` (alias ``ttf`` — the server's
+        name for the same idea) and ``ttk``.
+        """
+        if indicator in self.op_latency:
+            return self.op_latency[indicator]
+        if indicator in ("ttfr", "ttf"):
+            return self.ttfr
+        if indicator == "ttk":
+            return self.ttk
+        return None
+
+
+def evaluate_slos(metrics: MetricsCollector, slos: Sequence[str]) -> dict:
+    """Grade one run's merged collector against SLO specs.
+
+    Single-window (the whole run) evaluation using the same parser,
+    burn math, and verdict thresholds as the server's rolling
+    :class:`repro.obs.slo.SloEngine` — one SLO language everywhere.
+    """
+    specs = parse_slos(slos)
+    return evaluate_specs(
+        specs,
+        metrics.histogram_for,
+        lambda: (metrics.requests, metrics.error_count),
+    )
+
 
 def build_report(
     *,
@@ -100,6 +132,7 @@ def build_report(
     metrics: MetricsCollector,
     validation: Optional[dict] = None,
     server: Optional[dict] = None,
+    slos: Optional[Sequence[str]] = None,
 ) -> dict:
     """Assemble the machine-readable SLO report (JSON-ready dict)."""
     ops = {op: metrics.op_latency[op].summary() for op in OPS}
@@ -132,6 +165,11 @@ def build_report(
         "validation": validation
         or {"enabled": False, "sampled_pages": 0, "mismatches": 0},
         "server": server or {},
+        "slo": (
+            evaluate_slos(metrics, slos)
+            if slos
+            else {"status": "ok", "slos": [], "windows_s": []}
+        ),
     }
 
 
@@ -208,4 +246,8 @@ def render_text(report: dict) -> str:
             for op, summary in sorted(op_latency.items())
         ]
         lines.append("server:   " + " | ".join(parts))
+    slo = report.get("slo")
+    if slo and slo.get("slos"):
+        lines.append("")
+        lines.extend(render_slo_report(slo))
     return "\n".join(lines)

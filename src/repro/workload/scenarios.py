@@ -33,6 +33,15 @@ from repro.workload.arrival import (
 )
 from repro.workload.sampling import ZipfianSampler, make_sampler
 
+#: Stock SLOs every built-in scenario grades itself against unless it
+#: (or ``repro-loadgen --slo``) says otherwise.  Deliberately loose —
+#: they should hold on any developer machine; tighten per deployment.
+DEFAULT_WORKLOAD_SLOS: tuple[str, ...] = (
+    "query_p99_ms<=250",
+    "ttfr_p99_ms<=250",
+    "error_rate<=1%",
+)
+
 
 # ----------------------------------------------------------------------
 # Parameter specs
@@ -193,6 +202,9 @@ class Scenario:
     #: Mutations per second on the dedicated mutation lane (0 = read-only).
     mutation_rate: float = 0.0
     mutations: tuple[MutationTemplate, ...] = ()
+    #: SLO specs (:mod:`repro.obs.slo` syntax) the run's report grades
+    #: itself against; ``repro-loadgen --slo`` overrides them.
+    slos: tuple[str, ...] = DEFAULT_WORKLOAD_SLOS
 
     def summary(self) -> dict:
         return {
@@ -203,6 +215,7 @@ class Scenario:
             "popularity": self.popularity,
             "arrival": self.arrival.describe(),
             "mutation_rate": self.mutation_rate,
+            "slos": list(self.slos),
         }
 
 

@@ -15,7 +15,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.workload.histogram import (
+from repro.util.histogram import (
     DEFAULT_BOUNDS,
     Histogram,
     geometric_bounds,

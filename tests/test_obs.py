@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 import threading
 import time
+import warnings
 
 import pytest
 
@@ -587,7 +588,12 @@ def test_service_echoes_trace_id_and_serves_the_trace(path_db):
 
     missing = service.handle({"id": 11, "op": "trace", "trace": "t-nope"})
     assert not missing["ok"]
-    assert missing["error"]["code"] == "bad_request"
+    assert missing["error"]["code"] == "unknown_trace"
+    assert "t-nope" in missing["error"]["message"]
+
+    by_bad_request = service.handle({"id": 12, "op": "trace", "request": 999})
+    assert not by_bad_request["ok"]
+    assert by_bad_request["error"]["code"] == "unknown_trace"
 
 
 def test_page_fetch_spans_carry_engine_attribution(path_db):
@@ -684,10 +690,22 @@ def test_protocol_validates_new_ops():
         validate_request({"op": "explain", "sql": "x", "analyze": "yes"})
 
 
-def test_workload_histogram_shim_reexports_util():
+def test_workload_histogram_shim_reexports_util_with_deprecation():
+    import importlib
+
     import repro.util.histogram as util_histogram
     import repro.workload.histogram as shim
 
+    # The warning fires at import time; re-import under a catcher (the
+    # module may already be loaded by an earlier test or conftest).
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        shim = importlib.reload(shim)
+    assert any(
+        issubclass(w.category, DeprecationWarning)
+        and "repro.util.histogram" in str(w.message)
+        for w in caught
+    )
     assert shim.Histogram is util_histogram.Histogram
     assert shim.geometric_bounds is util_histogram.geometric_bounds
     assert shim.DEFAULT_BOUNDS is util_histogram.DEFAULT_BOUNDS

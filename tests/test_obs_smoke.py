@@ -116,3 +116,139 @@ def test_obs_smoke(capsys):
             server.kill()
             server.wait(timeout=30)
         server.stdout.close()
+
+
+@pytest.mark.slow
+def test_obs_smoke_layer2_propagation_log_slo(tmp_path, capsys):
+    """Layer 2 over a real wire: a sharded (``--workers 4``) query whose
+    client, server, and per-worker spans join into ONE trace tree; a
+    rotating ``--query-log``; and a ``--slo`` verdict — all against a
+    ``repro-serve`` subprocess."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    log_path = tmp_path / "query.log"
+
+    server = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.server.cli",
+            "--gen",
+            # Big enough to clear the parallel router's tuple floor.
+            "path:length=3,size=2000,domain=40,seed=7",
+            "--port",
+            "0",
+            "--workers",
+            "4",
+            "--query-log",
+            str(log_path),
+            "--log-sample",
+            "1.0",
+            "--log-max-bytes",
+            "1024",
+            "--slo",
+            "query_p99_ms<=60000",
+            "--slo",
+            "error_rate<=50%",
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        port = None
+        for _ in range(4):
+            line = server.stdout.readline()
+            if "listening on" in line:
+                port = int(line.rsplit(":", 1)[1])
+                break
+        assert port, "repro-serve never printed its listening line"
+
+        from repro.obs.cli import main as obs_main
+        from repro.obs.events import read_events
+        from repro.obs.trace import tracer
+        from repro.server import Client
+
+        prev_enabled = tracer.enabled
+        tracer.enabled = True  # opt into client-side spans for the join
+        try:
+            with Client(port=port, timeout=60.0) as client:
+                cursor = client.execute(SQL, batch=20)
+                query_trace_id = cursor.trace_id
+                rows = cursor.fetchall()
+                assert len(rows) == 40
+
+                # -- one joined client -> server -> worker trace tree --
+                looked_up = client.trace(query_trace_id)
+                spans = looked_up["trace"]["spans"]
+                names = [span["name"] for span in spans]
+                assert "client.query" in names  # this process
+                assert "serialize" in names and "wait" in names
+                assert "query" in names  # the server subprocess
+                by_id = {span["span_id"]: span for span in spans}
+                execute = [s for s in spans if s["name"] == "execute.setup"]
+                assert len(execute) == 1
+                shard_roots = [
+                    s for s in spans if s["name"].startswith("shard[")
+                ]
+                assert len(shard_roots) >= 4, (
+                    "per-worker span subtrees must graft into the trace"
+                )
+                for shard in shard_roots:
+                    assert shard["parent_id"] == execute[0]["span_id"]
+                shard_ids = {s["span_id"] for s in shard_roots}
+                assert any(
+                    s["name"] == "enumerate" and s["parent_id"] in shard_ids
+                    for s in spans
+                )
+                rendered = looked_up["rendered"]
+                assert "client.query" in rendered and "shard[0]" in rendered
+
+                # A propagated-but-evicted (or bogus) id answers with the
+                # clean error code, not an empty 200 or an internal error.
+                from repro.server.client import ServerError
+
+                with pytest.raises(ServerError) as excinfo:
+                    client.trace("t-never-existed")
+                assert excinfo.value.code == "unknown_trace"
+
+                # -- enough traffic to rotate the 1 KiB query log ------
+                for _ in range(6):
+                    client.execute(SQL, batch=20).fetchall()
+
+                # -- the slo op over the wire --------------------------
+                report = client.slo()
+                assert report["status"] == "ok", report
+                assert {entry["spec"] for entry in report["slos"]} == {
+                    "query_p99_ms<=60000",
+                    "error_rate<=50%",
+                }
+        finally:
+            tracer.enabled = prev_enabled
+
+        # -- the rotated, readable query log ---------------------------
+        assert os.path.exists(str(log_path) + ".1"), "log never rotated"
+        events = list(read_events(str(log_path)))
+        assert any(event["op"] == "query" for event in events)
+        assert all(
+            event["sql_hash"] for event in events if event.get("sql")
+        )
+
+        # -- repro-obs: SLO verdicts and the log view ------------------
+        host_port = ["--port", str(port)]
+        assert obs_main(host_port + ["--slo"]) == 0
+        assert "slo status: ok" in capsys.readouterr().out
+
+        assert obs_main(["--log", str(log_path)]) == 0
+        assert "query" in capsys.readouterr().out
+
+        assert obs_main(host_port + ["--trace", "nope"]) == 1
+        assert "no buffered trace" in capsys.readouterr().out
+    finally:
+        server.send_signal(signal.SIGINT)
+        try:
+            server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait(timeout=30)
+        server.stdout.close()
