@@ -1,0 +1,236 @@
+"""E25: the async pipelined server + parameter-bound plan cache.
+
+Four series, three of them asserted (the PR's acceptance criteria):
+
+1. **read-mostly plan-cache hit rate** — with literals lifted into
+   bound-parameter vectors, every instantiation of a query template
+   shares one cached entry, so the read-mostly scenario's hit rate must
+   reach >= 95% (it sat near 20% when each literal spelled its own key);
+2. **wire vs in-process query p99** — the asyncio core plus binary
+   framing must keep the wire's p99 within 2x of the same trace driven
+   in-process (the wire tax bounded, not just "small");
+3. **4-shard wire streams byte-identical to serial** — partition
+   parallelism behind the server must not reorder or rewrite a single
+   ranked stream;
+4. **pipelining throughput** (informational) — round trips per second,
+   one-at-a-time ``Client`` vs ``PipelinedClient`` with a window of
+   requests in flight on one socket.
+
+Writes ``BENCH_async.json`` — machine-readable for future PRs to diff.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_e25_async.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import print_table  # noqa: E402
+
+import repro.sql  # noqa: E402
+from repro.data.generators import random_graph_database  # noqa: E402
+from repro.server import Client, PipelinedClient, serve_background  # noqa: E402
+from repro.workload import run_scenario  # noqa: E402
+
+SEED = 7
+#: Long enough that the p99 is a population, not the boot transient:
+#: at 3 s the tail is ~2 samples and both sit on the server-boot +
+#: first-dial spike, which the in-process driver never pays.
+DURATION = 8.0
+CLIENTS = 4
+SCENARIO = "read-mostly"
+
+#: Acceptance floor on the template cache's hit rate for read traffic.
+MIN_HIT_RATE = 0.95
+#: Acceptance ceiling on wire p99 as a multiple of in-process p99, plus
+#: one millisecond of grace so a sub-ms in-process baseline cannot turn
+#: scheduler jitter into a flake.
+MAX_WIRE_FACTOR = 2.0
+GRACE_MS = 1.0
+
+GRAPH_SQL = (
+    "SELECT * FROM E AS e1 JOIN E AS e2 ON e1.dst = e2.src "
+    "ORDER BY weight LIMIT {k}"
+)
+
+
+def _hit_rate(plan_cache: dict) -> float:
+    total = plan_cache["hits"] + plan_cache["misses"]
+    return plan_cache["hits"] / total if total else 0.0
+
+
+def bench_cache_and_wire_tax() -> tuple[dict, dict, dict]:
+    """Series 1 + 2: one seeded trace, driven three ways.
+
+    The asserted p99 comparison uses ``wire`` mode (one socket per
+    lane) — that is the deployment shape the criterion bounds.  The
+    shared-socket ``wire-pipelined`` run rides along informationally:
+    multiplexing every lane onto one connection trades tail latency
+    (head-of-line at the socket) for connection economy, and the JSON
+    records that trade instead of hiding it.
+    """
+    wire = run_scenario(
+        SCENARIO, seed=SEED, duration=DURATION, clients=CLIENTS,
+        mode="wire", sample=0.0,
+    ).report
+    pipelined = run_scenario(
+        SCENARIO, seed=SEED, duration=DURATION, clients=CLIENTS,
+        mode="wire-pipelined", sample=0.0,
+    ).report
+    inproc = run_scenario(
+        SCENARIO, seed=SEED, duration=DURATION, clients=CLIENTS,
+        mode="inprocess", sample=0.0,
+    ).report
+
+    cache = wire["server"]["plan_cache"]
+    hit_rate = _hit_rate(cache)
+    assert hit_rate >= MIN_HIT_RATE, (
+        f"read-mostly plan-cache hit rate {hit_rate:.1%} < "
+        f"{MIN_HIT_RATE:.0%}: {cache}"
+    )
+
+    wire_p99 = wire["ops"]["query"]["p99_ms"]
+    inproc_p99 = inproc["ops"]["query"]["p99_ms"]
+    budget_ms = MAX_WIRE_FACTOR * inproc_p99 + GRACE_MS
+    assert wire_p99 <= budget_ms, (
+        f"wire query p99 {wire_p99:.3f} ms exceeds "
+        f"{MAX_WIRE_FACTOR}x in-process p99 {inproc_p99:.3f} ms"
+    )
+
+    cache_series = {
+        "scenario": SCENARIO, "seed": SEED, "duration_s": DURATION,
+        "mode": "wire",
+        "hits": cache["hits"], "misses": cache["misses"],
+        "recosts": cache.get("recosts", 0), "entries": cache["entries"],
+        "hit_rate": round(hit_rate, 4), "floor": MIN_HIT_RATE,
+    }
+    tax_series = {
+        "wire_query_p99_ms": wire_p99,
+        "inprocess_query_p99_ms": inproc_p99,
+        "wire_pipelined_query_p99_ms": pipelined["ops"]["query"]["p99_ms"],
+        "factor": round(wire_p99 / inproc_p99, 3) if inproc_p99 else None,
+        "budget_factor": MAX_WIRE_FACTOR, "grace_ms": GRACE_MS,
+    }
+    return cache_series, tax_series, wire
+
+
+def bench_sharded_streams() -> dict:
+    """Series 3: 4-shard server streams == the serial library streams."""
+    db = random_graph_database(num_edges=1500, num_nodes=160, seed=5)
+    checked = []
+    server, port = serve_background(db, workers=4)
+    try:
+        with PipelinedClient(port=port) as client:
+            for k in (10, 100, 500):
+                sql = GRAPH_SQL.format(k=k)
+                serial = list(repro.sql.query(db, sql))
+                sharded = client.execute(sql, batch=64).fetchall()
+                identical = json.dumps(sharded) == json.dumps(serial)
+                assert identical, f"4-shard stream diverged at k={k}"
+                checked.append({"k": k, "rows": len(sharded),
+                                "byte_identical": True})
+    finally:
+        server.shutdown()
+        server.server_close()
+    return {"workers": 4, "queries": checked}
+
+
+def bench_pipelining_throughput() -> dict:
+    """Series 4: round trips/s, strict request/response vs pipelined."""
+    db = random_graph_database(num_edges=400, num_nodes=70, seed=11)
+    sql = GRAPH_SQL.format(k=5)
+    rounds = 200
+    server, port = serve_background(db)
+    try:
+        with Client(port=port) as client:
+            client.execute(sql).fetchall()  # warm the plan cache
+            start = time.perf_counter()
+            for _ in range(rounds):
+                # fetch > k drains the stream, so the server retires the
+                # cursor inline and the loop cannot hit the cursor limit
+                client.call("query", sql=sql, fetch=10)
+            serial_s = time.perf_counter() - start
+        with PipelinedClient(port=port) as client:
+            start = time.perf_counter()
+            window = [
+                client.submit("query", sql=sql, fetch=10)
+                for _ in range(rounds)
+            ]
+            for future in window:
+                client.result(future)
+            pipelined_s = time.perf_counter() - start
+    finally:
+        server.shutdown()
+        server.server_close()
+    return {
+        "round_trips": rounds,
+        "serial_rps": round(rounds / serial_s, 1),
+        "pipelined_rps": round(rounds / pipelined_s, 1),
+        "speedup": round(serial_s / pipelined_s, 2),
+    }
+
+
+def main() -> None:
+    cache_series, tax_series, wire_report = bench_cache_and_wire_tax()
+    shard_series = bench_sharded_streams()
+    pipe_series = bench_pipelining_throughput()
+
+    print_table(
+        f"E25: plan-cache hit rate ({SCENARIO}, seed {SEED}, "
+        f"{DURATION:g}s, wire)",
+        ("hits", "misses", "recosts", "entries", "hit rate", "floor"),
+        [(
+            cache_series["hits"], cache_series["misses"],
+            cache_series["recosts"], cache_series["entries"],
+            f"{cache_series['hit_rate']:.1%}", f"{MIN_HIT_RATE:.0%}",
+        )],
+    )
+    print_table(
+        "E25: wire tax — query p99 vs in-process driver",
+        ("wire p99 ms", "inproc p99 ms", "factor", "budget"),
+        [(
+            tax_series["wire_query_p99_ms"],
+            tax_series["inprocess_query_p99_ms"],
+            tax_series["factor"],
+            f"<= {MAX_WIRE_FACTOR}x + {GRACE_MS:g}ms",
+        )],
+    )
+    print_table(
+        "E25: 4-shard wire streams vs serial library",
+        ("k", "rows", "byte-identical"),
+        [(q["k"], q["rows"], q["byte_identical"])
+         for q in shard_series["queries"]],
+    )
+    print_table(
+        "E25: pipelining throughput (one socket, k=5 point queries)",
+        ("round trips", "serial rps", "pipelined rps", "speedup"),
+        [(
+            pipe_series["round_trips"], pipe_series["serial_rps"],
+            pipe_series["pipelined_rps"], f"{pipe_series['speedup']}x",
+        )],
+    )
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_async.json"
+    payload = {
+        "bench": "e25_async",
+        "plan_cache": cache_series,
+        "wire_tax": tax_series,
+        "sharded_streams": shard_series,
+        "pipelining": pipe_series,
+        "wire_errors": wire_report["errors"],
+    }
+    with out.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nJSON report written to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -371,6 +371,13 @@ def plan_compiled(
     """
     from repro.engine.executor import filtered_database
 
+    if compiled.is_template:
+        from repro.sql.errors import SqlError
+
+        raise SqlError(
+            "statement has unbound parameters (?); supply a params vector "
+            "(the server's 'params' request field) or inline the values"
+        )
     # Plan on the filtered instance (filters change the stats the router
     # reads) but skip the size-preserving DESC negation — it only matters
     # at enumeration time, and EXPLAIN never enumerates.

@@ -9,17 +9,25 @@ first left off instead of recomputing a larger top-k from scratch.
 
 Layers (transport-agnostic core first, wire last):
 
-- :mod:`repro.server.plancache` — LRU plan cache keyed on normalized SQL
-  + catalog fingerprint, so repeat statements skip parse→analyze→route;
+- :mod:`repro.server.plancache` — parameterized plan cache: literals are
+  lifted into a bound-parameter vector during normalization (and ``?``
+  placeholders bind explicitly), so every instantiation of a query
+  template shares one LRU entry, validated against a catalog fingerprint
+  on each hit;
 - :mod:`repro.server.cursors` — the session/cursor manager with an
   admission limit and idle eviction;
 - :mod:`repro.server.service` — :class:`QueryService`, the dict-in /
   dict-out request handler (usable in-process, no sockets);
-- :mod:`repro.server.protocol` — the JSON-lines wire protocol;
-- :mod:`repro.server.tcp` — a stdlib ``socketserver`` thread-pool TCP
-  server speaking the protocol;
-- :mod:`repro.server.client` — :class:`Client`, a context-manager wire
-  client with an iterator-of-rows cursor API;
+- :mod:`repro.server.protocol` — the wire protocol: JSON-lines by
+  default, length-prefixed binary frames after a ``hello`` negotiation,
+  ``params`` vectors, multi-request ``batch`` envelopes, and a frame
+  size ceiling;
+- :mod:`repro.server.tcp` — an asyncio TCP server: pipelined requests
+  per connection, a bounded executor for engine work, and a graceful
+  drain that finishes in-flight responses whole;
+- :mod:`repro.server.client` — :class:`Client` (one request at a time,
+  strict timeouts) and :class:`PipelinedClient` (many in flight on one
+  socket, futures matched by id);
 - :mod:`repro.server.cli` — the ``repro-serve`` console script.
 
 Quickstart::
@@ -32,7 +40,8 @@ Quickstart::
     with Client(port=port) as client:
         cur = client.execute(
             "SELECT * FROM E AS e1 JOIN E AS e2 ON e1.dst = e2.src "
-            "ORDER BY weight LIMIT 100", batch=10)
+            "WHERE e1.src > ? ORDER BY weight LIMIT ?", params=[5, 100],
+            batch=10)
         for row, weight in cur:                        # fetches lazily
             print(weight, row)
     server.shutdown()
@@ -40,25 +49,30 @@ Quickstart::
 
 from repro.server.client import (
     Client,
+    ClientTimeout,
     DeadlineExceeded,
+    PipelinedClient,
     ResultCursor,
     ServerError,
 )
 from repro.server.cursors import CursorLimitError, UnknownCursorError
-from repro.server.plancache import PlanCache, normalize_sql
+from repro.server.plancache import PlanCache, normalize_sql, parameterize_sql
 from repro.server.service import QueryService
 from repro.server.tcp import AnykTCPServer, serve_background
 
 __all__ = [
     "AnykTCPServer",
     "Client",
+    "ClientTimeout",
     "CursorLimitError",
     "DeadlineExceeded",
+    "PipelinedClient",
     "PlanCache",
     "QueryService",
     "ResultCursor",
     "ServerError",
     "UnknownCursorError",
     "normalize_sql",
+    "parameterize_sql",
     "serve_background",
 ]

@@ -134,6 +134,23 @@ def build_parser() -> argparse.ArgumentParser:
         "worthwhile (default 1 = serial)",
     )
     parser.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=protocol.MAX_FRAME_BYTES,
+        metavar="BYTES",
+        help="largest request frame accepted, in bytes (both the JSON-"
+        "lines and the binary framing; oversized requests are answered "
+        f"with a frame_too_large error; default {protocol.MAX_FRAME_BYTES})",
+    )
+    parser.add_argument(
+        "--executor-threads",
+        type=int,
+        default=8,
+        metavar="N",
+        help="bound on the thread pool executing requests behind the "
+        "event loop (pipelined requests beyond it queue; default 8)",
+    )
+    parser.add_argument(
         "--readonly",
         action="store_true",
         help="refuse 'mutate' requests (INSERT/DELETE) with a clean "
@@ -237,6 +254,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         VersionedDatabase(db, copy=False),
         host=args.host,
         port=args.port,
+        max_frame_bytes=args.max_frame_bytes,
+        executor_threads=args.executor_threads,
         max_cursors=args.max_cursors,
         plan_cache_size=args.plan_cache,
         default_batch=args.batch,

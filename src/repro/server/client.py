@@ -16,6 +16,8 @@ from __future__ import annotations
 import itertools
 import socket
 import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout
 from typing import Any, Iterator, Optional
 
 import repro.server.protocol as protocol
@@ -50,8 +52,29 @@ class DeadlineExceeded(ServerError):
         super().__init__("deadline", message)
 
 
+class ClientTimeout(ServerError):
+    """The client-side read timeout expired before a response arrived.
+
+    A *client*-enforced bound (``Client(timeout=...)``), distinct from
+    the server-enforced ``deadline_ms``: the server may still be working
+    on the request.  On a plain :class:`Client` the connection is closed
+    (a later response would desynchronize the request/response pairing);
+    a :class:`PipelinedClient` survives it, because its reader thread
+    keeps draining responses by id.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(protocol.CLIENT_TIMEOUT, message)
+
+
 class Client:
-    """Context-manager client for one ``repro-serve`` endpoint."""
+    """Context-manager client for one ``repro-serve`` endpoint.
+
+    ``connect_timeout`` bounds the TCP connect (default 10 s);
+    ``timeout`` bounds each round trip's read — when it expires the call
+    raises :class:`ClientTimeout` and the connection is closed (None,
+    the default, waits indefinitely).
+    """
 
     def __init__(
         self,
@@ -59,6 +82,7 @@ class Client:
         port: int = protocol.DEFAULT_PORT,
         timeout: Optional[float] = None,
         deadline_ms: Optional[int] = None,
+        connect_timeout: Optional[float] = 10.0,
     ) -> None:
         # Client-side spans record only when the process tracer is
         # enabled (it never is for a plain wire client unless the
@@ -70,8 +94,12 @@ class Client:
             else NOOP_SPAN
         )
         with connect:
-            self._socket = socket.create_connection((host, port), timeout=timeout)
+            self._socket = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+            self._socket.settimeout(timeout)
             self._file = self._socket.makefile("rwb")
+        self.timeout = timeout
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         #: Default per-request deadline attached to every call (None: no
@@ -105,12 +133,22 @@ class Client:
             request["trace_context"] = format_traceparent(trace_id, root.span_id)
         with root:
             with self._lock:
-                with tracer.span("serialize"):
-                    payload = protocol.encode(request)
-                    self._file.write(payload)
-                    self._file.flush()
-                with tracer.span("wait"):
-                    line = self._file.readline()
+                try:
+                    with tracer.span("serialize"):
+                        payload = protocol.encode(request)
+                        self._file.write(payload)
+                        self._file.flush()
+                    with tracer.span("wait"):
+                        line = self._file.readline()
+                except socket.timeout as exc:
+                    # A half-read response is unrecoverable on a strict
+                    # request/response socket: poison the connection so
+                    # no later call pairs with this request's answer.
+                    self._close_locked()
+                    raise ClientTimeout(
+                        f"no response to op {op!r} within "
+                        f"{self.timeout}s; connection closed"
+                    ) from exc
         if not line:
             raise ConnectionError("server closed the connection")
         response = protocol.decode_line(line)
@@ -132,12 +170,15 @@ class Client:
         batch: int = 100,
         prefetch: Optional[int] = None,
         deadline_ms: Optional[int] = None,
+        params: Optional[list] = None,
     ) -> "ResultCursor":
         """Open a server-side cursor; returns an iterable cursor.
 
         ``batch`` is the rows-per-``fetch`` page size; ``prefetch``
         (default: ``batch``) rows ride along inline on the ``query``
-        response, saving a round trip for small results.
+        response, saving a round trip for small results.  ``params``
+        binds the statement's ``?`` placeholders positionally (numbers
+        and strings).
         """
         response = self.call(
             "query",
@@ -145,21 +186,32 @@ class Client:
             engine=engine,
             fetch=batch if prefetch is None else prefetch,
             deadline_ms=deadline_ms,
+            params=params,
         )
         return ResultCursor(self, response, batch=batch, deadline_ms=deadline_ms)
 
     def explain(
-        self, sql: str, engine: Optional[str] = None
+        self,
+        sql: str,
+        engine: Optional[str] = None,
+        params: Optional[list] = None,
     ) -> str:
         """The server's routed plan for ``sql``, as text."""
-        return self.call("explain", sql=sql, engine=engine)["explain"]
+        return self.call("explain", sql=sql, engine=engine, params=params)[
+            "explain"
+        ]
 
     def explain_analyze(
-        self, sql: str, engine: Optional[str] = None
+        self,
+        sql: str,
+        engine: Optional[str] = None,
+        params: Optional[list] = None,
     ) -> dict:
         """EXPLAIN ANALYZE on the server: runs the statement, returns the
         report dict (``analyze``) with its text rendering (``explain``)."""
-        response = self.call("explain", sql=sql, engine=engine, analyze=True)
+        response = self.call(
+            "explain", sql=sql, engine=engine, analyze=True, params=params
+        )
         return {k: v for k, v in response.items() if k not in ("id", "ok")}
 
     def metrics(self, format: str = "prometheus"):
@@ -226,10 +278,15 @@ class Client:
     # ------------------------------------------------------------------
     def close(self) -> None:
         with self._lock:
-            try:
-                self._file.close()
-            finally:
-                self._socket.close()
+            self._close_locked()
+
+    def _close_locked(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        finally:
+            self._socket.close()
 
     def __enter__(self) -> "Client":
         return self
@@ -344,3 +401,239 @@ class ResultCursor:
             f"ResultCursor({state}, columns={self.columns!r}, "
             f"engine={self.engine!r})"
         )
+
+
+class PipelinedClient:
+    """A pipelining client: many requests in flight on one socket.
+
+    A background reader thread drains responses and completes
+    per-request futures matched by envelope id, so any number of
+    threads can share one connection — :meth:`submit` returns a
+    :class:`concurrent.futures.Future` immediately, :meth:`call` is the
+    blocking convenience around it, and :meth:`batch` packs several
+    requests into a single ``batch`` round trip (the multi-cursor
+    fetch).  On connect the client negotiates framing with a ``hello``
+    op (``frames="binary"`` by default: length-prefixed frames skip the
+    newline scan on both sides).
+
+    Unlike :class:`Client`, a read ``timeout`` here does *not* poison
+    the connection: the reader thread keeps consuming responses in
+    arrival order, so a late answer completes its (abandoned) future
+    harmlessly instead of desynchronizing the stream.
+
+    The query surface mirrors :class:`Client` (``execute`` returns a
+    :class:`ResultCursor`, ``mutate``/``stats``/``close_cursor`` behave
+    identically), so workload drivers can treat either as a connection.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = protocol.DEFAULT_PORT,
+        frames: str = "binary",
+        timeout: Optional[float] = None,
+        deadline_ms: Optional[int] = None,
+        connect_timeout: Optional[float] = 10.0,
+    ) -> None:
+        self._socket = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+        self._wfile = self._socket.makefile("wb")
+        self._rfile = self._socket.makefile("rb")
+        self.timeout = timeout
+        self.deadline_ms = deadline_ms
+        self._write_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: dict[Any, "Future[dict]"] = {}
+        self._ids = itertools.count(1)
+        self._closed = False
+        self.frames = "json"
+        # Negotiate framing synchronously, before the reader thread and
+        # before any pipelined traffic: the hello response is the last
+        # frame in the old framing.
+        self._wfile.write(
+            protocol.encode({"id": 0, "op": "hello", "frames": frames})
+        )
+        self._wfile.flush()
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection during hello")
+        response = protocol.decode_line(line)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServerError(
+                error.get("code", protocol.INTERNAL),
+                error.get("message", "hello failed"),
+            )
+        self.frames = frames
+        #: The server's hello payload (protocol revision, frame limit).
+        self.server_info = {
+            k: v for k, v in response.items() if k not in ("id", "ok")
+        }
+        self._socket.settimeout(None)  # the reader blocks; calls bound waits
+        self._reader = threading.Thread(
+            target=self._read_loop, name="repro-client-reader", daemon=True
+        )
+        self._reader.start()
+
+    # ------------------------------------------------------------------
+    # The reader thread
+    # ------------------------------------------------------------------
+    def _read_frame(self) -> Optional[bytes]:
+        if self.frames == "binary":
+            header = self._rfile.read(protocol.FRAME_HEADER.size)
+            if len(header) < protocol.FRAME_HEADER.size:
+                return None
+            (length,) = protocol.FRAME_HEADER.unpack(header)
+            payload = self._rfile.read(length)
+            return payload if len(payload) == length else None
+        line = self._rfile.readline()
+        return line or None
+
+    def _read_loop(self) -> None:
+        error: Exception = ConnectionError("server closed the connection")
+        try:
+            while True:
+                raw = self._read_frame()
+                if raw is None:
+                    break
+                response = protocol.decode_line(raw)
+                with self._pending_lock:
+                    future = self._pending.pop(response.get("id"), None)
+                if future is not None:
+                    future.set_result(response)
+                # else: an abandoned (timed-out) or unsolicited response
+        except Exception as exc:  # decode error, socket error
+            error = exc
+        with self._pending_lock:
+            pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # Round trips
+    # ------------------------------------------------------------------
+    def submit(self, op: str, **fields: Any) -> "Future[dict]":
+        """Send one request without waiting; returns a response future."""
+        if fields.get("deadline_ms") is None:
+            fields.pop("deadline_ms", None)
+            if self.deadline_ms is not None:
+                fields["deadline_ms"] = self.deadline_ms
+        request = {"id": next(self._ids), "op": op, **fields}
+        future: "Future[dict]" = Future()
+        with self._pending_lock:
+            if self._closed:
+                raise ConnectionError("client is closed")
+            self._pending[request["id"]] = future
+        if self.frames == "binary":
+            data = protocol.encode_frame(request)
+        else:
+            data = protocol.encode(request)
+        try:
+            with self._write_lock:
+                self._wfile.write(data)
+                self._wfile.flush()
+        except OSError:
+            with self._pending_lock:
+                self._pending.pop(request["id"], None)
+            raise
+        return future
+
+    def result(self, future: "Future[dict]") -> dict:
+        """Wait for a submitted request's response (the unwrap half)."""
+        try:
+            response = future.result(timeout=self.timeout)
+        except FutureTimeout:
+            raise ClientTimeout(
+                f"no response within {self.timeout}s (the connection "
+                "stays usable; the response will be discarded on arrival)"
+            ) from None
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServerError(
+                error.get("code", protocol.INTERNAL),
+                error.get("message", "unspecified server error"),
+            )
+        return response
+
+    def call(self, op: str, **fields: Any) -> dict:
+        """One blocking round trip (over the pipelined machinery)."""
+        return self.result(self.submit(op, **fields))
+
+    def batch(self, requests: list) -> list:
+        """One ``batch`` round trip: sub-requests dispatched in order.
+
+        Each element is a dict with at least ``op``; sub-ids are
+        assigned here.  Returns the per-sub-request response dicts
+        (errors inline, not raised — callers inspect ``ok``).
+        """
+        numbered = [
+            {"id": i, **request} for i, request in enumerate(requests)
+        ]
+        response = self.result(self.submit("batch", requests=numbered))
+        return response.get("responses", [])
+
+    # ------------------------------------------------------------------
+    # The Client-compatible query surface
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        sql: str,
+        engine: Optional[str] = None,
+        batch: int = 100,
+        prefetch: Optional[int] = None,
+        deadline_ms: Optional[int] = None,
+        params: Optional[list] = None,
+    ) -> "ResultCursor":
+        """Open a server-side cursor; returns an iterable cursor."""
+        response = self.call(
+            "query",
+            sql=sql,
+            engine=engine,
+            fetch=batch if prefetch is None else prefetch,
+            deadline_ms=deadline_ms,
+            params=params,
+        )
+        return ResultCursor(self, response, batch=batch, deadline_ms=deadline_ms)
+
+    def mutate(self, sql: str) -> dict:
+        response = self.call("mutate", sql=sql)
+        return {k: v for k, v in response.items() if k not in ("id", "ok")}
+
+    def stats(self) -> dict:
+        response = self.call("stats")
+        return {k: v for k, v in response.items() if k not in ("id", "ok")}
+
+    def close_cursor(self, cursor_id: str) -> None:
+        self.call("close", cursor=cursor_id)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._pending_lock:
+            if self._closed:
+                return
+            self._closed = True
+        # Unblock the reader with an EOF *before* touching the file
+        # objects: closing a socket makefile while another thread is
+        # blocked reading it deadlocks on the file's internal lock.
+        try:
+            self._socket.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._reader.join(timeout=5.0)
+        try:
+            self._wfile.close()
+            self._rfile.close()
+        except OSError:
+            pass
+        finally:
+            self._socket.close()
+
+    def __enter__(self) -> "PipelinedClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

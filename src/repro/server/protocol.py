@@ -1,11 +1,25 @@
-"""The JSON-lines wire protocol.
+"""The wire protocol: JSON requests/responses, two framings.
 
-One request per line, one response per line, both UTF-8 JSON objects —
-the simplest framing that composes with ``nc``, log files, and every
-language's standard library.  All requests share the envelope::
+The default framing is JSON lines — one request per line, one response
+per line, both UTF-8 JSON objects — the simplest framing that composes
+with ``nc``, log files, and every language's standard library.  A client
+may switch the connection to **binary framing** (a 4-byte big-endian
+payload length followed by the same UTF-8 JSON payload, no newline
+scanning) by sending a ``hello`` op; the server's hello *response* still
+arrives in the old framing, and everything after it uses the negotiated
+one.  Either way a frame larger than the server's limit
+(:data:`MAX_FRAME_BYTES` by default) is answered with a
+``frame_too_large`` error and the connection stays usable.
+
+Requests may be **pipelined**: a client can write any number of requests
+without waiting for responses.  Responses carry the request ``id``
+precisely so pipelined clients can match them up; the async server may
+complete independent requests out of order.  All requests share the
+envelope::
 
     {"id": <any>, "op": "query" | "fetch" | "explain" | "mutate" | "close"
-     | "stats" | "metrics" | "trace" | "slo", ...op fields...,
+     | "batch" | "hello" | "stats" | "metrics" | "trace" | "slo",
+     ...op fields...,
      "deadline_ms": <optional int>,
      "trace_context": <optional W3C-traceparent-style string>}
 
@@ -18,17 +32,20 @@ Op fields (see :class:`repro.server.service.QueryService` for semantics):
 
 ``query``
     ``sql`` (required), ``engine`` (optional router override), ``fetch``
-    (optional int: rows to inline in the response, default 0).  The
-    response carries ``version``, the snapshot generation the cursor is
-    pinned to for its whole lifetime (validation harnesses replay pages
-    against a recompute of exactly that generation).
+    (optional int: rows to inline in the response, default 0), ``params``
+    (optional list of numbers/strings bound positionally to the
+    statement's ``?`` placeholders).  The response carries ``version``,
+    the snapshot generation the cursor is pinned to for its whole
+    lifetime (validation harnesses replay pages against a recompute of
+    exactly that generation).
 ``fetch``
     ``cursor`` (required), ``n`` (optional int, default server batch).
 ``explain``
-    ``sql`` (required), ``engine`` (optional), ``analyze`` (optional
-    bool: run the statement to completion and include the EXPLAIN
-    ANALYZE report — per-stage/per-operator wall time, tuples produced,
-    cache/shard attribution, and the in-engine anytime-delay profile).
+    ``sql`` (required), ``engine`` (optional), ``params`` (optional, as
+    for ``query``), ``analyze`` (optional bool: run the statement to
+    completion and include the EXPLAIN ANALYZE report — per-stage/
+    per-operator wall time, tuples produced, cache/shard attribution,
+    and the in-engine anytime-delay profile).
 ``mutate``
     ``sql`` (required): one ``INSERT INTO`` / ``DELETE FROM`` statement.
     Commits a new copy-on-write snapshot; open cursors keep draining the
@@ -36,6 +53,19 @@ Op fields (see :class:`repro.server.service.QueryService` for semantics):
     ``relation``, ``rows``, and the new ``version``.
 ``close``
     ``cursor`` (required).
+``batch``
+    ``requests`` (required: a list of at most :data:`MAX_BATCH` request
+    objects, each a full envelope minus ``batch``/``hello`` nesting).
+    Dispatches every sub-request in order on one server turn and
+    responds with ``{"responses": [...]}`` — one response object per
+    sub-request, order preserved.  The canonical multi-cursor fetch:
+    one round trip advances any number of cursors.
+``hello``
+    ``frames`` (optional: ``"json"`` — the default line framing — or
+    ``"binary"``).  Negotiates the connection's framing; the response
+    (``{"frames": ..., "protocol": ..., "max_frame_bytes": ...}``)
+    travels in the *old* framing, everything after it in the new one.
+    In-process callers get the capability echo with no framing change.
 ``stats``
     no fields.
 ``metrics``
@@ -70,13 +100,32 @@ latency SLO).  Rows travel as ``[row_values..., weight]``-shaped pairs in
 from __future__ import annotations
 
 import json
+import struct
 from typing import Any, Optional
 
-#: Protocol revision, echoed by the ``stats`` op.
-PROTOCOL_VERSION = 1
+#: Protocol revision, echoed by the ``stats`` op.  2 added pipelining,
+#: ``params`` binding, and the ``batch``/``hello`` ops.
+PROTOCOL_VERSION = 2
 
 #: Default TCP port of ``repro-serve`` (overridable everywhere).
 DEFAULT_PORT = 7632
+
+#: Largest request/response frame the server accepts, in bytes (both
+#: framings; ``repro-serve --max-frame-bytes`` overrides).  Oversized
+#: requests are answered with ``frame_too_large``, never a hangup.
+MAX_FRAME_BYTES = 1_000_000
+
+#: Most sub-requests one ``batch`` op may carry.
+MAX_BATCH = 128
+
+#: Most values one ``params`` vector may carry.
+MAX_PARAMS = 64
+
+#: Framing names a ``hello`` op may negotiate.
+FRAMES = ("json", "binary")
+
+#: Binary framing header: 4-byte big-endian unsigned payload length.
+FRAME_HEADER = struct.Struct(">I")
 
 #: op name -> required field names.
 OPS: dict[str, tuple[str, ...]] = {
@@ -85,6 +134,8 @@ OPS: dict[str, tuple[str, ...]] = {
     "explain": ("sql",),
     "mutate": ("sql",),
     "close": ("cursor",),
+    "batch": ("requests",),
+    "hello": (),
     "stats": (),
     "metrics": (),
     "trace": (),
@@ -97,6 +148,8 @@ SQL_ERROR = "sql_error"
 UNKNOWN_CURSOR = "unknown_cursor"
 UNKNOWN_TRACE = "unknown_trace"
 CURSOR_LIMIT = "cursor_limit"
+FRAME_TOO_LARGE = "frame_too_large"
+CLIENT_TIMEOUT = "client_timeout"
 INTERNAL = "internal"
 
 
@@ -182,10 +235,59 @@ def validate_request(request: dict) -> str:
         request["trace"], str
     ):
         raise ProtocolError("'trace' must be a string (a trace id)")
+    if op in ("query", "explain"):
+        validate_params(request.get("params"))
+    if op == "batch":
+        requests = request["requests"]
+        if not isinstance(requests, list):
+            raise ProtocolError("'requests' must be a list of request objects")
+        if len(requests) > MAX_BATCH:
+            raise ProtocolError(
+                f"a batch carries at most {MAX_BATCH} requests, "
+                f"got {len(requests)}"
+            )
+        for i, sub in enumerate(requests):
+            if not isinstance(sub, dict):
+                raise ProtocolError(
+                    f"batch request {i} must be a JSON object, "
+                    f"got {type(sub).__name__}"
+                )
+            if sub.get("op") in ("batch", "hello"):
+                raise ProtocolError(
+                    f"batch request {i}: {sub['op']!r} cannot nest in a batch"
+                )
+    if op == "hello":
+        frames = request.get("frames", "json")
+        if frames not in FRAMES:
+            known = " or ".join(repr(f) for f in FRAMES)
+            raise ProtocolError(f"'frames' must be {known}")
     context = request.get("trace_context")
     if context is not None and not isinstance(context, str):
         raise ProtocolError("'trace_context' must be a traceparent string")
     return op
+
+
+def validate_params(params: Any) -> None:
+    """Check a ``params`` vector: a short list of scalar values.
+
+    Booleans are rejected explicitly — they are ``int`` subclasses in
+    Python, and relations never store them, so a ``true`` in a params
+    vector is a client bug better caught at the envelope.
+    """
+    if params is None:
+        return
+    if not isinstance(params, list):
+        raise ProtocolError("'params' must be a list of numbers/strings")
+    if len(params) > MAX_PARAMS:
+        raise ProtocolError(
+            f"'params' carries at most {MAX_PARAMS} values, got {len(params)}"
+        )
+    for i, value in enumerate(params):
+        if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+            raise ProtocolError(
+                f"params[{i}] must be a number or string, "
+                f"got {type(value).__name__}"
+            )
 
 
 def ok_response(request_id: Any, payload: dict) -> dict:
@@ -200,6 +302,21 @@ def error_response(request_id: Any, code: str, message: str) -> dict:
         "ok": False,
         "error": {"code": code, "message": message},
     }
+
+
+def encode_frame(message: dict) -> bytes:
+    """One message in binary framing: 4-byte big-endian length + JSON."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    return FRAME_HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse one binary-frame payload into a request dict.
+
+    Same contract as :func:`decode_line` (which additionally strips the
+    newline terminator the line framing carries).
+    """
+    return decode_line(payload)
 
 
 def jsonable_rows(rows: list) -> list:

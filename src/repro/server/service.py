@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import threading
 import time
+from dataclasses import dataclass, replace as dc_replace
 from typing import Any, Optional, Sequence
 
 from repro.anyk.api import PausableStream, StreamClosed
@@ -44,11 +45,35 @@ from repro.server.cursors import (
     CursorManager,
     UnknownCursorError,
 )
-from repro.server.plancache import CachedPlan, PlanCache, normalize_sql
+from repro.server.plancache import (
+    RECOST_DRIFT,
+    CachedPlan,
+    PlanCache,
+    bind_compiled,
+    fingerprint_drift,
+    parameterize_sql,
+)
 from repro.sql import _check_engine
 from repro.sql.analyzer import analyze_mutation, analyze_statement
 from repro.sql.errors import SqlError
 from repro.util.counters import Counters
+
+
+@dataclass
+class BoundPlan:
+    """One request's executable view of a cached template entry.
+
+    ``compiled`` is fully concrete (every parameter bound), ``plan`` is
+    either the entry's own costed plan (the fast path: same catalog
+    generation, same bound values) or a cheap per-request copy whose
+    working instance is rebuilt from the request snapshot at execution
+    time.  Mirrors the ``.compiled``/``.plan`` attribute shape of
+    :class:`~repro.server.plancache.CachedPlan` so call sites read the
+    same either way.
+    """
+
+    compiled: Any
+    plan: Any
 
 
 class QueryService:
@@ -204,44 +229,100 @@ class QueryService:
         sql: str,
         engine: Optional[str] = None,
         db: Optional[Database] = None,
-    ) -> tuple[CachedPlan, bool]:
+        params: Optional[Sequence[Any]] = None,
+    ) -> tuple[BoundPlan, bool]:
         """The (possibly cached) compiled statement + routed plan.
 
-        Returns ``(entry, was_cached)``.  The full pipeline — parse →
-        analyze → route, including filter materialization — runs only on
-        a miss; hits cost one parse (for normalization) and a dict probe.
-        ``db`` pins the snapshot to plan against (defaults to the newest).
+        Returns ``(bound, was_cached)``.  The cache keys on the
+        statement's *parameterized template* — every comparison literal
+        and the LIMIT lifted into a bound-value vector, explicit ``?``
+        placeholders resolved from ``params`` — so all instantiations of
+        one shape share a single entry.  The full pipeline (analyze →
+        route, including filter materialization) runs only on a true
+        miss; every other request costs one parse plus a cheap re-bind.
 
-        The cache key fingerprints only the relations the statement's
-        FROM list names, at their current copy-on-write versions: a
-        mutation forces a miss (re-cost, re-materialize) exactly for the
-        statements that read the mutated relation, while plans over
-        untouched relations stay warm.
+        Staleness is validated on hit against the request snapshot's
+        fingerprint of the referenced relations:
+
+        - no drift + identical bound values: the entry's plan (with its
+          materialized working instance) is served as-is;
+        - drift within :data:`~repro.server.plancache.RECOST_DRIFT` or
+          different values: the routing is reused on a per-request plan
+          copy whose filtered instance is rebuilt from the snapshot;
+        - larger drift or an empty/non-empty flip: the entry is
+          re-costed in place (counted as a miss — the cache saved no
+          routing work).
+
+        ``db`` pins the snapshot to plan against (defaults to newest).
         """
         _check_engine(engine)
         with tracer.span("parse"):
-            normalized, statement = normalize_sql(sql)
+            parameterized = parameterize_sql(sql)
+        values = parameterized.resolve(params)
         snapshot = db if db is not None else self.versioned.snapshot()
+        referenced = frozenset(
+            t.relation for t in parameterized.statement.tables
+        )
+        fingerprint = database_fingerprint(snapshot, only=referenced)
+        key = PlanCache.key(parameterized.template, engine, self.workers)
         with tracer.span("cache_lookup") as lookup_span:
-            referenced = frozenset(t.relation for t in statement.tables)
-            fingerprint = database_fingerprint(snapshot, only=referenced)
-            key = PlanCache.key(normalized, engine, fingerprint, self.workers)
             entry = self.plan_cache.lookup(key)
             lookup_span.set(hit=entry is not None)
-        if entry is not None:
-            return entry, True
-        with tracer.span("plan"):
-            compiled = analyze_statement(snapshot, sql, statement)
-            routed = plan_compiled(
-                snapshot,
-                compiled,
-                engine=engine,
-                stats_cache=self.stats_cache,
-                workers=self.workers,
+        if entry is None:
+            with tracer.span("plan"):
+                template = analyze_statement(
+                    snapshot, sql, parameterized.statement
+                )
+                bound = bind_compiled(template, values, sql)
+                routed = plan_compiled(
+                    snapshot,
+                    bound,
+                    engine=engine,
+                    stats_cache=self.stats_cache,
+                    workers=self.workers,
+                )
+            entry = CachedPlan(
+                template,
+                routed,
+                fingerprint=fingerprint,
+                costed_values=values,
             )
-        entry = CachedPlan(compiled, routed)
-        self.plan_cache.store(key, entry)
-        return entry, False
+            self.plan_cache.store(key, entry)
+            return BoundPlan(bound, routed), False
+        bound = bind_compiled(entry.compiled, values, sql)
+        drift = fingerprint_drift(entry.fingerprint, fingerprint)
+        if drift > RECOST_DRIFT:
+            # The data moved enough that the cached routing may be
+            # genuinely wrong (e.g. rank-join over a since-emptied
+            # input); re-cost from fresh statistics, in place.
+            with tracer.span("plan") as span:
+                span.set(recost=True, drift=round(drift, 4))
+                routed = plan_compiled(
+                    snapshot,
+                    bound,
+                    engine=engine,
+                    stats_cache=self.stats_cache,
+                    workers=self.workers,
+                )
+            entry.recost(routed, fingerprint, values)
+            self.plan_cache.note_recost()
+            return BoundPlan(bound, routed), False
+        if drift == 0.0 and values == entry.costed_values:
+            # Fast path: same data generation, same binding — the
+            # entry's materialized working instance is exactly right.
+            return BoundPlan(bound, entry.plan), True
+        # Soft hit: the routing holds, but the filtered working instance
+        # was materialized for other values (or a slightly different
+        # generation) — drop it so execute() rebuilds the selections
+        # from this request's own snapshot.
+        plan = dc_replace(
+            entry.plan,
+            k=bound.k,
+            working_db=None,
+            working_cq=None,
+            snapshot_version=snapshot.version,
+        )
+        return BoundPlan(bound, plan), True
 
     # ------------------------------------------------------------------
     # Ops
@@ -252,11 +333,13 @@ class QueryService:
         engine: Optional[str] = None,
         fetch: int = 0,
         deadline: Optional[float] = None,
+        params: Optional[Sequence[Any]] = None,
     ) -> dict:
         """Open a cursor for ``sql``; optionally inline the first rows.
 
         The cursor holds the *paused* enumeration: nothing beyond the
-        inlined prefix is computed until the next ``fetch``.
+        inlined prefix is computed until the next ``fetch``.  ``params``
+        binds the statement's ``?`` placeholders positionally.
         """
         # Refuse before planning: under overload (the admission limit's
         # regime), a doomed request must not pay parse+analyze+route or
@@ -266,7 +349,9 @@ class QueryService:
         # generation even if a mutation commits mid-request, and the
         # cursor stays pinned to it for its whole lifetime.
         snapshot = self.versioned.snapshot()
-        entry, was_cached = self.plan(sql, engine=engine, db=snapshot)
+        entry, was_cached = self.plan(
+            sql, engine=engine, db=snapshot, params=params
+        )
         session_counters = Counters()
         # Every cursor carries its own delay profile; the engine-side wrap
         # records TTF/TT(k)/inter-result delay as pages drain, and
@@ -402,7 +487,11 @@ class QueryService:
         self._ttf_metric.labels(engine=name).merge_histogram(profile.ttf)
 
     def explain(
-        self, sql: str, engine: Optional[str] = None, analyze: bool = False
+        self,
+        sql: str,
+        engine: Optional[str] = None,
+        analyze: bool = False,
+        params: Optional[Sequence[Any]] = None,
     ) -> dict:
         """The routed plan as text (cached like ``query`` plans).
 
@@ -415,7 +504,7 @@ class QueryService:
         from repro.sql import render_explain
 
         if not analyze:
-            entry, was_cached = self.plan(sql, engine=engine)
+            entry, was_cached = self.plan(sql, engine=engine, params=params)
             return {
                 "explain": render_explain(entry.compiled, entry.plan),
                 "engine": entry.plan.engine,
@@ -429,7 +518,9 @@ class QueryService:
 
         snapshot = self.versioned.snapshot()
         start = time.perf_counter()
-        entry, was_cached = self.plan(sql, engine=engine, db=snapshot)
+        entry, was_cached = self.plan(
+            sql, engine=engine, db=snapshot, params=params
+        )
         plan_ms = (time.perf_counter() - start) * 1000.0
         counters = Counters()
         profile = DelayProfile()
@@ -505,6 +596,34 @@ class QueryService:
             "closed": cursor_id,
             "emitted": cursor.emitted,
             "results_emitted": cursor.emitted,
+        }
+
+    def hello(self, frames: str = "json") -> dict:
+        """Capability echo for the ``hello`` op.
+
+        The TCP layer intercepts ``hello`` in its read loop (framing is
+        transport state) and answers with its own frame limit; this
+        in-process fallback reports the negotiation result with no
+        framing to actually switch.
+        """
+        return {
+            "frames": frames,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "pipelining": True,
+            "max_frame_bytes": None,
+        }
+
+    def batch(self, requests: list) -> dict:
+        """Dispatch a list of sub-requests in order, on one turn.
+
+        Each sub-request runs through the full :meth:`handle` pipeline —
+        validation, tracing, per-op metrics, SLO accounting — so a batch
+        of N requests is indistinguishable from N pipelined requests
+        except for the single round trip.  A failing sub-request yields
+        its error response in place; the rest of the batch still runs.
+        """
+        return {
+            "responses": [self.handle(request) for request in requests]
         }
 
     def stats(self) -> dict:
@@ -770,6 +889,7 @@ class QueryService:
                     engine=request.get("engine"),
                     fetch=request.get("fetch", 0),
                     deadline=deadline,
+                    params=request.get("params"),
                 )
             elif op == "fetch":
                 payload = self.fetch(
@@ -782,11 +902,16 @@ class QueryService:
                     request["sql"],
                     engine=request.get("engine"),
                     analyze=bool(request.get("analyze")),
+                    params=request.get("params"),
                 )
             elif op == "mutate":
                 payload = self.mutate(request["sql"])
             elif op == "close":
                 payload = self.close(request["cursor"])
+            elif op == "batch":
+                payload = self.batch(request["requests"])
+            elif op == "hello":
+                payload = self.hello(request.get("frames", "json"))
             elif op == "metrics":
                 payload = self.metrics(
                     format=request.get("format", "prometheus")

@@ -30,6 +30,7 @@ from repro.sql.nodes import (
     DeleteStatement,
     InsertStatement,
     Literal,
+    Parameter,
     SelectStatement,
     TableRef,
 )
@@ -55,15 +56,31 @@ _FILTER_OPS: dict[str, Callable[[Any, Any], bool]] = {
 
 @dataclass(frozen=True)
 class Filter:
-    """One constant filter ``table.column op literal`` on a FROM entry."""
+    """One constant filter ``table.column op literal`` on a FROM entry.
+
+    In a cached statement *template* the value may be a
+    :class:`~repro.sql.nodes.Parameter` sentinel; such filters describe
+    the statement's shape only and must be bound to a concrete value
+    (:func:`repro.server.plancache.bind_compiled`) before execution.
+    """
 
     table: str  # resolved alias
     column: str
     op: str
     value: Any
 
+    @property
+    def is_template(self) -> bool:
+        """True when the comparison value is an unbound parameter."""
+        return isinstance(self.value, Parameter)
+
     def predicate(self, position: int) -> Callable[[tuple], bool]:
         """Row predicate over the owning relation (column pre-resolved)."""
+        if self.is_template:
+            raise TypeError(
+                f"filter {self.table}.{self.column} {self.op} ? is an "
+                "unbound template; bind parameters before execution"
+            )
         compare = _FILTER_OPS[self.op]
         value = self.value
         return lambda row: _safe_compare(compare, row[position], value)
@@ -100,11 +117,20 @@ class CompiledQuery:
     cq: ConjunctiveQuery
     ranking: RankingFunction
     descending: bool
-    k: Optional[int]
+    #: LIMIT count; in an unbound template this may be a Parameter.
+    k: Optional["int | Parameter"]
     output_columns: tuple[str, ...]
     output_positions: tuple[int, ...]
     filters: tuple[Filter, ...]
     alias_to_relation: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_template(self) -> bool:
+        """True when any filter value or the LIMIT is an unbound
+        parameter (the compiled statement cannot execute as-is)."""
+        return isinstance(self.k, Parameter) or any(
+            f.is_template for f in self.filters
+        )
 
     @property
     def is_projection(self) -> bool:
@@ -279,6 +305,13 @@ def _analyze_delete(
             sql,
             statement.predicates[0].pos,
         )
+    if any(f.is_template for f in filters):
+        raise SqlError(
+            "bind parameters (?) are not supported in DELETE predicates; "
+            "mutations take literal values",
+            sql,
+            statement.pos,
+        )
     return CompiledMutation(
         sql=sql,
         statement=statement,
@@ -413,11 +446,16 @@ def _classify_predicates(
             if not left_is_column:  # literal op column — flip the comparison
                 op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
             alias, name = _resolve_column(db, sql, tables, column)
-            assert isinstance(literal, Literal)
-            filters.append(Filter(alias, name, op, literal.value))
+            # A Parameter flows through as itself: the filter stays a
+            # template until bind_compiled substitutes the bound value.
+            value = (
+                literal.value if isinstance(literal, Literal) else literal
+            )
+            filters.append(Filter(alias, name, op, value))
         else:
             raise SqlError(
-                "predicates between two literals are not supported",
+                "predicates between two literals (or two parameters) are "
+                "not supported",
                 sql,
                 predicate.pos,
             )

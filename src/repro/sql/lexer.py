@@ -29,9 +29,10 @@ KEYWORDS = frozenset(
 
 #: Multi-character operators first so maximal munch works.  ``-`` and
 #: ``+`` only appear as literal signs (``--`` starts a comment instead).
+#: ``?`` is the positional bind-parameter marker of prepared statements.
 OPERATORS = (
     "<=", ">=", "<>", "!=", "=", "<", ">", ",", ".", "(", ")", ";", "*",
-    "-", "+",
+    "-", "+", "?",
 )
 
 

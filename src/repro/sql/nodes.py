@@ -37,7 +37,24 @@ class Literal:
         return repr(self.value)
 
 
-Operand = Union[ColumnRef, Literal]
+@dataclass(frozen=True)
+class Parameter:
+    """A positional bind parameter (``?``), numbered in appearance order.
+
+    Two sources produce these: explicit ``?`` placeholders typed by the
+    user (bound from the request's ``params`` vector), and literals the
+    plan cache lifts out of comparison predicates / LIMIT so that every
+    instantiation of a statement template shares one cached plan.
+    """
+
+    index: int
+    pos: int = field(default=0, compare=False)
+
+    def __str__(self) -> str:
+        return "?"
+
+
+Operand = Union[ColumnRef, Literal, Parameter]
 
 #: Comparison operators of the subset (``!=`` is normalized to ``<>``).
 COMPARISONS = ("=", "<>", "<", "<=", ">", ">=")
@@ -165,7 +182,7 @@ class SelectStatement:
     tables: tuple[TableRef, ...]
     predicates: tuple[Comparison, ...] = ()
     order_by: Optional[OrderBy] = None
-    limit: Optional[int] = None
+    limit: Optional[Union[int, Parameter]] = None
     pos: int = field(default=0, compare=False)
 
     def __str__(self) -> str:

@@ -20,9 +20,14 @@ Grammar (keywords case-insensitive)::
     table_ref   := identifier [[AS] identifier]
     conjunction := comparison (AND comparison)*
     comparison  := operand ('=' | '<>' | '!=' | '<' | '<=' | '>' | '>=') operand
-    operand     := column | number | string
+    operand     := column | number | string | '?'
     column      := identifier ['.' identifier]
     order_key   := 'weight' | identifier '(' 'weight' ')'
+
+``?`` is a positional bind parameter (numbered left to right); it may
+stand for the literal side of a comparison or for the LIMIT count, and is
+bound from the request's ``params`` vector at execution time.  Parameters
+are SELECT-only: INSERT/DELETE statements reject them.
 
 Everything outside the subset — OR, NOT, GROUP BY, HAVING, DISTINCT, outer
 joins, set operations, subqueries, arithmetic — is rejected with a
@@ -47,6 +52,7 @@ from repro.sql.nodes import (
     Literal,
     Operand,
     OrderBy,
+    Parameter,
     SelectStatement,
     TableRef,
 )
@@ -91,6 +97,8 @@ class _Parser:
         self.sql = sql
         self.tokens = tokenize(sql)
         self.index = 0
+        # Positional `?` markers are numbered in appearance order.
+        self.parameters = 0
 
     # -- token plumbing ----------------------------------------------------
     @property
@@ -212,6 +220,11 @@ class _Parser:
 
     def parse_value_literal(self) -> Literal:
         token = self.current
+        if token.is_op("?"):
+            raise self.error(
+                "bind parameters (?) are not supported in INSERT VALUES; "
+                "mutations commit literal rows"
+            )
         if token.kind == "ident" or token.kind == "keyword":
             raise self.error(
                 f"VALUES entries must be number or string literals, found "
@@ -384,6 +397,11 @@ class _Parser:
         token = self.current
         if token.is_keyword("NOT"):
             raise self.error("NOT is not supported")
+        if token.is_op("?"):
+            self.advance()
+            index = self.parameters
+            self.parameters += 1
+            return Parameter(index, token.pos)
         sign = 1
         if token.is_op("-", "+"):
             # A literal sign; `--` would lex as a comment, so write `- 1`
@@ -468,17 +486,23 @@ class _Parser:
             )
         return "sum"
 
-    def parse_limit(self) -> Optional[int]:
+    def parse_limit(self) -> Optional["int | Parameter"]:
         if not self.current.is_keyword("LIMIT"):
             return None
         self.advance()
         token = self.current
-        if token.kind != "number" or not token.text.isdigit():
-            raise self.error("LIMIT takes a positive integer")
-        self.advance()
-        k = int(token.text)
-        if k < 1:
-            raise SqlError("LIMIT must be >= 1", self.sql, token.pos)
+        k: "int | Parameter"
+        if token.is_op("?"):
+            self.advance()
+            k = Parameter(self.parameters, token.pos)
+            self.parameters += 1
+        else:
+            if token.kind != "number" or not token.text.isdigit():
+                raise self.error("LIMIT takes a positive integer (or ?)")
+            self.advance()
+            k = int(token.text)
+            if k < 1:
+                raise SqlError("LIMIT must be >= 1", self.sql, token.pos)
         if self.current.is_keyword("OFFSET"):
             raise self.error(
                 "OFFSET is not supported; pull from the ranked stream and "

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Any, Hashable, Optional
+from typing import Any, Callable, Hashable, Optional
 
 
 class LruCache:
@@ -26,8 +26,18 @@ class LruCache:
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self._lock = threading.Lock()
 
-    def get(self, key: Hashable) -> Optional[Any]:
-        """The cached value (freshened to most-recent), or None."""
+    def get(
+        self,
+        key: Hashable,
+        on_hit: Optional[Callable[[Any], None]] = None,
+    ) -> Optional[Any]:
+        """The cached value (freshened to most-recent), or None.
+
+        ``on_hit`` runs on the value *under the cache lock*, so per-entry
+        accounting (e.g. a hit counter on the value itself) is atomic
+        with respect to concurrent lookups — a racy ``entry.hits += 1``
+        outside the lock loses increments.
+        """
         with self._lock:
             value = self._entries.get(key)
             if value is None:
@@ -35,7 +45,22 @@ class LruCache:
                 return None
             self.hits += 1
             self._entries.move_to_end(key)
+            if on_hit is not None:
+                on_hit(value)
             return value
+
+    def reclassify_hit_as_miss(self) -> None:
+        """Turn one recorded hit into a miss.
+
+        For validate-on-hit callers: a lookup that found an entry which
+        then failed validation (e.g. a stale plan needing a full re-cost)
+        did not save the caller any work, so it should count as a miss in
+        the hit-rate arithmetic.
+        """
+        with self._lock:
+            if self.hits > 0:
+                self.hits -= 1
+            self.misses += 1
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/refresh a value, evicting the least-recent overflow."""

@@ -67,11 +67,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--mode",
-        choices=("wire", "inprocess"),
+        choices=("wire", "wire-pipelined", "inprocess"),
         default="wire",
-        help="wire: JSON-lines over TCP against an ephemeral (or "
-        "--connect'ed) server; inprocess: call QueryService directly "
-        "to isolate engine cost from wire cost (default wire)",
+        help="wire: one socket per lane against an ephemeral (or "
+        "--connect'ed) server; wire-pipelined: every lane multiplexed "
+        "onto one shared binary-framed pipelined socket; inprocess: "
+        "call QueryService directly to isolate engine cost from wire "
+        "cost (default wire)",
+    )
+    parser.add_argument(
+        "--client-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="client-side bound on each wire round trip; expiries are "
+        "recorded as client_timeout errors and lanes keep going "
+        "(default: wait indefinitely)",
     )
     parser.add_argument(
         "--connect",
@@ -143,9 +154,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 64
-    if args.connect and args.mode != "wire":
+    if args.connect and args.mode == "inprocess":
         print(
-            "repro-loadgen: --connect implies --mode wire", file=sys.stderr
+            "repro-loadgen: --connect needs a wire mode", file=sys.stderr
         )
         return 64
 
@@ -195,6 +206,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         sample=args.sample,
         service_options=None if args.connect else {"workers": args.workers},
         slos=args.slo,
+        client_timeout=args.client_timeout,
     )
     print(render_text(result.report))
     if args.json:

@@ -1,14 +1,22 @@
 """Multi-client drivers: execute a trace, measure it, sample it.
 
-Two drivers share one implementation behind a tiny connection seam:
+Three drivers share one implementation behind a tiny connection seam:
 
 - **wire** — one :class:`repro.server.Client` socket per lane against a
-  real ``repro-serve`` endpoint (measures the full stack: JSON framing,
-  TCP, the thread-pool handler, the engine);
+  real ``repro-serve`` endpoint (measures the full stack: framing, TCP,
+  the event loop + executor, the engine);
+- **wire-pipelined** — every lane multiplexed onto *one* shared
+  :class:`repro.server.client.PipelinedClient` socket (binary framing,
+  requests in flight concurrently), which measures the pipelined wire
+  path at its best;
 - **in-process** — the same protocol dicts handed straight to
   :meth:`repro.server.service.QueryService.handle` (no sockets), which
-  isolates engine cost from wire cost: the difference between the two
-  reports *is* the wire.
+  isolates engine cost from wire cost: the difference between the wire
+  reports and this one *is* the wire.
+
+A client-side read timeout (``client_timeout``) surfaces as a recorded
+``client_timeout`` error in the report, not a lane failure: plain wire
+lanes redial their poisoned socket and continue the schedule.
 
 Each query lane replays its schedule — ``query`` with an inline
 prefetch page, then explicit ``fetch`` round trips until the ranked
@@ -28,7 +36,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
-from repro.server.client import Client, ServerError
+from repro.server.client import (
+    Client,
+    ClientTimeout,
+    PipelinedClient,
+    ServerError,
+)
 from repro.workload.metrics import MetricsCollector, build_report
 from repro.workload.scenarios import (
     SCENARIOS,
@@ -76,8 +89,48 @@ class InProcessConnection:
 class WireConnection:
     """One TCP socket per lane (real concurrency needs real sockets)."""
 
-    def __init__(self, host: str, port: int) -> None:
-        self.client = Client(host=host, port=port)
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = None
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.client = Client(host=host, port=port, timeout=timeout)
+
+    def call(self, op: str, **fields) -> dict:
+        try:
+            return self.client.call(
+                op, **{k: v for k, v in fields.items() if v is not None}
+            )
+        except ClientTimeout:
+            # The timed-out client poisoned its socket (a late response
+            # would desync the pairing); redial so the lane's remaining
+            # schedule proceeds.  The timeout itself propagates as a
+            # ServerError, which the lane records as an error and
+            # survives.
+            try:
+                self.client.close()
+            except OSError:
+                pass
+            self.client = Client(
+                host=self.host, port=self.port, timeout=self.timeout
+            )
+            raise
+
+    def close(self) -> None:
+        self.client.close()
+
+
+class PipelinedWireConnection:
+    """One lane's view of a *shared* :class:`PipelinedClient` socket.
+
+    Non-owning: lanes come and go, the underlying pipelined connection
+    belongs to the run.  All lanes' requests interleave in flight on the
+    one socket — the pipelining the transport was built for.
+    """
+
+    def __init__(self, client: PipelinedClient) -> None:
+        self.client = client
 
     def call(self, op: str, **fields) -> dict:
         return self.client.call(
@@ -85,7 +138,7 @@ class WireConnection:
         )
 
     def close(self) -> None:
-        self.client.close()
+        pass  # the shared client outlives the lane
 
 
 # ----------------------------------------------------------------------
@@ -374,6 +427,7 @@ def run_scenario(
     sample: float = 0.1,
     service_options: Optional[dict] = None,
     slos: Optional[Sequence[str]] = None,
+    client_timeout: Optional[float] = None,
 ) -> LoadResult:
     """Build the trace, stand up (or dial) a server, run, report.
 
@@ -382,6 +436,10 @@ def run_scenario(
     ``connect=(host, port)``, dials an existing ``repro-serve`` that
     **must** have been started with the scenario's dataset spec
     (``Scenario.dataset``) for validation to line up.
+    ``mode="wire-pipelined"`` multiplexes every lane onto one shared
+    binary-framed pipelined connection.  ``client_timeout`` bounds each
+    wire round trip client-side; expiries land in the report as
+    ``client_timeout`` errors (lanes survive them).
     """
     if isinstance(scenario, str):
         try:
@@ -419,36 +477,46 @@ def run_scenario(
             initial_db=initial_db,
             slos=slos,
         )
-    if mode != "wire":
-        raise ValueError(f"unknown mode {mode!r}; known: inprocess, wire")
-
-    if connect is not None:
-        host, port = connect
-        return run_trace(
-            trace,
-            lambda: WireConnection(host, port),
-            mode=mode,
-            sample=sample,
-            initial_db=initial_db,
-            slos=slos,
+    if mode not in ("wire", "wire-pipelined"):
+        raise ValueError(
+            f"unknown mode {mode!r}; known: inprocess, wire, wire-pipelined"
         )
 
-    from repro.dynamic import VersionedDatabase
-    from repro.server.tcp import serve_background
+    server = None
+    if connect is not None:
+        host, port = connect
+    else:
+        from repro.dynamic import VersionedDatabase
+        from repro.server.tcp import serve_background
 
-    server, port = serve_background(
-        VersionedDatabase(initial_db(), copy=False),
-        **(service_options or {}),
-    )
+        server, port = serve_background(
+            VersionedDatabase(initial_db(), copy=False),
+            **(service_options or {}),
+        )
+        host = "127.0.0.1"
+
+    shared: Optional[PipelinedClient] = None
     try:
+        if mode == "wire-pipelined":
+            shared = PipelinedClient(
+                host=host, port=port, timeout=client_timeout
+            )
+            factory = lambda: PipelinedWireConnection(shared)  # noqa: E731
+        else:
+            factory = lambda: WireConnection(  # noqa: E731
+                host, port, timeout=client_timeout
+            )
         return run_trace(
             trace,
-            lambda: WireConnection("127.0.0.1", port),
+            factory,
             mode=mode,
             sample=sample,
             initial_db=initial_db,
             slos=slos,
         )
     finally:
-        server.shutdown()
-        server.server_close()
+        if shared is not None:
+            shared.close()
+        if server is not None:
+            server.shutdown()
+            server.server_close()

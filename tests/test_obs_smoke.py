@@ -31,6 +31,13 @@ SQL = (
 
 @pytest.mark.slow
 def test_obs_smoke(capsys):
+    # Any in-process QueryService built by an earlier test enables the
+    # process-global tracer; this smoke asserts the *server-side* span
+    # tree, so client-side spans joining the trace would reorder it.
+    from repro.obs.trace import tracer
+
+    tracer.disable()
+
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
 
