@@ -1,0 +1,219 @@
+"""E26: columnar storage + per-plan compiled enumeration kernels.
+
+Three series, one of them asserted (the PR's acceptance criterion):
+
+1. **compiled vs interpreted kernel micro-ops** — the three T-DP
+   accessors the enumeration inner loops hammer (``prefix_priority`` on
+   a deviation prefix, ``expand_best``, ``solution_row``), measured on
+   an e18-class path instance.  The best op must clear a **5x** speedup:
+   the straight-line generated code drops the interpreted walk's
+   ``combine`` callbacks, bucket-key tuple allocations, and per-stage
+   attribute hops, and that is the whole point of shipping a code
+   generator instead of micro-tuning the interpreter;
+2. **bulk materialization** — ``Relation.bulk_load`` vs per-row
+   ``Relation.add`` (the path the binary hash join now takes), and the
+   columnar weight-keyed sort the batch engine uses (informational);
+3. **end-to-end enumeration** — ``rank_enumerate`` wall clock with
+   kernels on vs off for part:lazy and rec (informational; the micro
+   ratio is diluted by strategy bookkeeping), plus a byte-identity check
+   of the two streams.
+
+Writes ``BENCH_columnar.json`` — machine-readable for future PRs to
+diff.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_e26_columnar.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import print_table  # noqa: E402
+
+from repro.anyk.api import rank_enumerate  # noqa: E402
+from repro.anyk.kernels import install_kernels  # noqa: E402
+from repro.anyk.tdp import TDP  # noqa: E402
+from repro.data.generators import path_database  # noqa: E402
+from repro.data.relation import Relation  # noqa: E402
+from repro.query.cq import path_query  # noqa: E402
+
+#: e18-class scale: a 4-ary path join over 2000-row relations.
+LENGTH, SIZE, DOMAIN, SEED = 4, 2000, 40, 7
+K = 1000
+
+#: Asserted floor on the best micro-op speedup.
+MIN_KERNEL_SPEEDUP = 5.0
+
+MICRO_CALLS = 100_000
+MICRO_REPEATS = 5
+BULK_ROWS = 200_000
+
+
+def _best_of(fn, *args, calls: int = MICRO_CALLS, repeats: int = MICRO_REPEATS):
+    """Best wall clock over ``repeats`` batches of ``calls`` invocations."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def kernel_micro_series() -> dict:
+    db = path_database(LENGTH, SIZE, DOMAIN, seed=SEED)
+    query = path_query(LENGTH)
+    interp = TDP(db, query)
+    compiled = TDP(db, query)
+    assert install_kernels(compiled, engine="bench")
+
+    full = interp.expand_best([interp.root_bucket().best_tuple])
+    deviation = full[:1]  # the prefix shape Lawler deviations probe
+
+    ops = {
+        "prefix_priority": (
+            lambda t: t.prefix_priority(deviation),
+        ),
+        "expand_best": (
+            lambda t: t.expand_best(list(deviation)),
+        ),
+        "solution_row": (
+            lambda t: t.solution_row(full),
+        ),
+    }
+    series = {}
+    for name, (call,) in ops.items():
+        interp_s = _best_of(call, interp)
+        compiled_s = _best_of(call, compiled)
+        series[name] = {
+            "interpreted_us": round(interp_s / MICRO_CALLS * 1e6, 4),
+            "compiled_us": round(compiled_s / MICRO_CALLS * 1e6, 4),
+            "speedup": round(interp_s / compiled_s, 2),
+        }
+    series_max = max(entry["speedup"] for entry in series.values())
+    return {"ops": series, "max_speedup": series_max}
+
+
+def bulk_load_series() -> dict:
+    rows = [(i % 97, (i * 7) % 89, float(i)) for i in range(BULK_ROWS)]
+    weights = [0.001 * (i % 1000) for i in range(BULK_ROWS)]
+
+    start = time.perf_counter()
+    per_row = Relation("R", ("a", "b", "c"))
+    for row, weight in zip(rows, weights):
+        per_row.add(row, weight)
+    per_row_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    bulk = Relation("R", ("a", "b", "c"))
+    bulk.bulk_load(rows, weights)
+    bulk_s = time.perf_counter() - start
+    assert bulk.rows == per_row.rows and bulk.weights == per_row.weights
+
+    start = time.perf_counter()
+    order = bulk.columnar().sorted_order()
+    columnar_sort_s = time.perf_counter() - start
+
+    return {
+        "rows": BULK_ROWS,
+        "per_row_add_ms": round(per_row_s * 1e3, 2),
+        "bulk_load_ms": round(bulk_s * 1e3, 2),
+        "speedup": round(per_row_s / bulk_s, 2),
+        "columnar_sort_ms": round(columnar_sort_s * 1e3, 2),
+        "sorted_rows": len(order),
+    }
+
+
+def end_to_end_series() -> dict:
+    db = path_database(LENGTH, SIZE, DOMAIN, seed=SEED)
+    query = path_query(LENGTH)
+    series = {}
+    for method in ("part:lazy", "rec"):
+        timings = {}
+        streams = {}
+        for label, flag in (("interpreted", False), ("compiled", True)):
+            start = time.perf_counter()
+            streams[label] = list(
+                rank_enumerate(db, query, method=method, k=K, compile_kernels=flag)
+            )
+            timings[label] = time.perf_counter() - start
+        assert streams["compiled"] == streams["interpreted"], method
+        series[method] = {
+            "k": K,
+            "interpreted_ms": round(timings["interpreted"] * 1e3, 2),
+            "compiled_ms": round(timings["compiled"] * 1e3, 2),
+            "speedup": round(timings["interpreted"] / timings["compiled"], 2),
+            "byte_identical": True,
+        }
+    return series
+
+
+def main() -> None:
+    micro = kernel_micro_series()
+    bulk = bulk_load_series()
+    end_to_end = end_to_end_series()
+
+    print_table(
+        "E26: compiled vs interpreted kernel micro-ops "
+        f"(path len={LENGTH}, n={SIZE})",
+        ("op", "interpreted us", "compiled us", "speedup"),
+        [
+            (name, entry["interpreted_us"], entry["compiled_us"],
+             f"{entry['speedup']}x")
+            for name, entry in micro["ops"].items()
+        ],
+    )
+    print_table(
+        "E26: bulk materialization",
+        ("rows", "per-row add ms", "bulk_load ms", "speedup",
+         "columnar sort ms"),
+        [(
+            bulk["rows"], bulk["per_row_add_ms"], bulk["bulk_load_ms"],
+            f"{bulk['speedup']}x", bulk["columnar_sort_ms"],
+        )],
+    )
+    print_table(
+        f"E26: end-to-end rank_enumerate (k={K}, informational)",
+        ("method", "interpreted ms", "compiled ms", "speedup", "identical"),
+        [
+            (method, entry["interpreted_ms"], entry["compiled_ms"],
+             f"{entry['speedup']}x", entry["byte_identical"])
+            for method, entry in end_to_end.items()
+        ],
+    )
+
+    assert micro["max_speedup"] >= MIN_KERNEL_SPEEDUP, (
+        f"best kernel micro-op speedup {micro['max_speedup']}x "
+        f"below the {MIN_KERNEL_SPEEDUP}x floor"
+    )
+    print(
+        f"\nbest kernel micro-op speedup {micro['max_speedup']}x "
+        f">= {MIN_KERNEL_SPEEDUP}x floor"
+    )
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_columnar.json"
+    payload = {
+        "bench": "e26_columnar",
+        "instance": {
+            "length": LENGTH, "size": SIZE, "domain": DOMAIN, "seed": SEED,
+        },
+        "kernel_micro": micro,
+        "bulk_materialization": bulk,
+        "end_to_end": end_to_end,
+        "min_kernel_speedup": MIN_KERNEL_SPEEDUP,
+    }
+    with out.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"JSON report written to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -50,7 +50,7 @@ from repro.query import (
 )
 from repro.util.counters import Counters
 
-__version__ = "1.3.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "Database",

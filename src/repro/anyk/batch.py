@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, Optional
 
-from repro.anyk.ranking import RankingFunction, SUM, solution_tie_key
+from repro.anyk.ranking import RankingFunction, SUM
 from repro.data.database import Database
 from repro.joins.generic_join import evaluate as generic_join
 from repro.joins.yannakakis import evaluate as yannakakis_join
@@ -41,12 +41,16 @@ def batch_enumerate(
         result = yannakakis_join(db, query, counters=counters, combine=combine, tree=tree)
     else:
         result = generic_join(db, query, counters=counters, combine=combine)
+    # Sort through the columnar view: one pass builds the lifted weight
+    # vector, and the order pass touches row values only inside tie
+    # groups.  Lifted weights (not raw) key the sort so tie groups form
+    # in the ranking carrier, exactly as the any-k engines see them.
     lift = ranking.lift
-    ranked = sorted(
-        ((lift(weight), row) for row, weight in zip(result.rows, result.weights)),
-        key=lambda pair: (pair[0], solution_tie_key(pair[1])),
-    )
+    store = result.columnar()
+    lifted = [lift(w) for w in result.weights]
+    order = store.sorted_order(weights=lifted)
     if counters is not None:
-        counters.comparisons += max(0, len(ranked) - 1)
-    for weight, row in ranked:
-        yield row, weight
+        counters.comparisons += max(0, len(order) - 1)
+    rows = result.rows
+    for i in order:
+        yield rows[i], lifted[i]

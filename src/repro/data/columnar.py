@@ -1,0 +1,214 @@
+"""Columnar backing store for weighted relations.
+
+A :class:`ColumnStore` keeps the same logical content as a
+:class:`~repro.data.relation.Relation` — fixed-arity value tuples plus a
+parallel weight vector — but laid out column-wise: one Python list per
+attribute and one contiguous ``array('d')`` of weights.  The layout is
+chosen for the access patterns the engines actually have (the Grid Files
+argument: storage follows access, not the object model):
+
+- **bulk materialization** — the batch engine and the binary hash join
+  produce results column-at-a-time; appending whole columns avoids the
+  per-row method call, arity check, and index invalidation of
+  ``Relation.add``;
+- **projection / key extraction** — projecting onto an attribute subset
+  reads whole columns and zips once, instead of indexing into every row
+  tuple;
+- **weight-ordered scans** — sorting reads the contiguous weight vector
+  and touches row values only to break ties.
+
+An optional numpy backend (float64 weight vector, enabled with the
+``REPRO_COLUMNAR_NUMPY=1`` environment flag or ``backend="numpy"``)
+drops in for the weight array; value columns stay Python lists because
+they hold arbitrary comparable objects (the hub-graph datasets mix
+strings and ints in one column).  The flag is an opt-in: the stdlib
+backend is always available and both backends are behaviorally
+identical.
+
+``Relation.columnar()`` returns a cached :class:`ColumnStore` view of a
+relation, invalidated on mutation exactly like its hash indexes.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from array import array
+from typing import Any, Iterable, Optional, Sequence
+
+
+def _numpy_or_none():
+    """The numpy module when importable, else None (never raises)."""
+    try:
+        import numpy  # noqa: PLC0415 - optional backend probe
+
+        return numpy
+    except Exception:  # pragma: no cover - numpy is baked into the image
+        return None
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """The effective weight-vector backend: ``"list"`` or ``"numpy"``.
+
+    ``backend=None`` consults the ``REPRO_COLUMNAR_NUMPY`` environment
+    flag; asking for numpy when it cannot be imported silently degrades
+    to the stdlib backend (the flag is an optimization hint, not a hard
+    dependency).
+    """
+    if backend is None:
+        backend = (
+            "numpy" if os.environ.get("REPRO_COLUMNAR_NUMPY") == "1" else "list"
+        )
+    if backend not in ("list", "numpy"):
+        raise ValueError(f"unknown columnar backend {backend!r}")
+    if backend == "numpy" and _numpy_or_none() is None:
+        return "list"
+    return backend
+
+
+class ColumnStore:
+    """Column-wise storage of a weighted relation.
+
+    ``columns[i]`` is the list of values of attribute ``schema[i]``
+    across all rows; ``weights`` is the parallel weight vector (an
+    ``array('d')``, or a numpy float64 array under the numpy backend).
+    """
+
+    __slots__ = ("schema", "columns", "backend", "_weights")
+
+    def __init__(
+        self, schema: Sequence[str], backend: Optional[str] = None
+    ) -> None:
+        self.schema = tuple(schema)
+        if not self.schema:
+            raise ValueError("a column store needs at least one attribute")
+        self.columns: list[list[Any]] = [[] for _ in self.schema]
+        self.backend = resolve_backend(backend)
+        self._weights: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_relation(cls, relation, backend: Optional[str] = None) -> "ColumnStore":
+        """Columnar view of a :class:`~repro.data.relation.Relation`."""
+        store = cls(relation.schema, backend=backend)
+        store.extend(relation.rows, relation.weights)
+        return store
+
+    def append(self, row: Sequence[Any], weight: float = 0.0) -> None:
+        """Append one row (mirrors ``Relation.add`` validation)."""
+        if len(row) != len(self.schema):
+            raise ValueError(
+                f"row {tuple(row)!r} has arity {len(row)}, "
+                f"store has arity {len(self.schema)}"
+            )
+        weight = float(weight)
+        if not math.isfinite(weight):
+            raise ValueError(f"weight {weight!r} is not finite")
+        for column, value in zip(self.columns, row):
+            column.append(value)
+        self._weights.append(weight)
+
+    def extend(
+        self, rows: Iterable[Sequence[Any]], weights: Iterable[float]
+    ) -> None:
+        """Bulk append: transpose once, validate the weight vector once."""
+        rows = list(rows)
+        weights = [float(w) for w in weights]
+        if len(rows) != len(weights):
+            raise ValueError(
+                f"{len(rows)} rows but {len(weights)} weights"
+            )
+        if not rows:
+            return
+        arity = len(self.schema)
+        if any(len(row) != arity for row in rows):
+            raise ValueError(f"every row must have arity {arity}")
+        if not all(map(math.isfinite, weights)):
+            raise ValueError("weights must be finite")
+        for position, column in enumerate(self.columns):
+            column.extend(row[position] for row in rows)
+        self._weights.extend(weights)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    @property
+    def weights(self):
+        """The weight vector in the backend's representation."""
+        if self.backend == "numpy":
+            numpy = _numpy_or_none()
+            if numpy is not None:
+                return numpy.asarray(self._weights, dtype=numpy.float64)
+        return array("d", self._weights)
+
+    def weight(self, i: int) -> float:
+        return self._weights[i]
+
+    def column(self, attr: str) -> list[Any]:
+        """One whole column by attribute name."""
+        try:
+            return self.columns[self.schema.index(attr)]
+        except ValueError:
+            raise KeyError(
+                f"no attribute {attr!r}; schema is {self.schema}"
+            ) from None
+
+    def row(self, i: int) -> tuple:
+        """Materialize row ``i`` as a tuple (gather across columns)."""
+        return tuple(column[i] for column in self.columns)
+
+    def rows(self) -> list[tuple]:
+        """All rows, materialized (a single transpose via ``zip``)."""
+        if not self._weights:
+            return []
+        return list(zip(*self.columns))
+
+    def project(self, attrs: Sequence[str]) -> list[tuple]:
+        """Rows projected onto ``attrs`` — reads only those columns."""
+        picked = [self.column(a) for a in attrs]
+        if not self._weights:
+            return []
+        return list(zip(*picked))
+
+    def index_on(self, attrs: Sequence[str]) -> dict[tuple, list[int]]:
+        """Hash index (projection key -> row ids), same shape as
+        ``Relation.index_on`` so the two stores are interchangeable."""
+        keys = self.project(attrs)
+        index: dict[tuple, list[int]] = {}
+        for i, key in enumerate(keys):
+            index.setdefault(key, []).append(i)
+        return index
+
+    def sorted_order(self, weights: Optional[Sequence[Any]] = None) -> list[int]:
+        """Row ids in ascending-weight order, ties by type-tagged row.
+
+        The tie key is :func:`repro.anyk.ranking.solution_tie_key`
+        (values decorated with their type name), so heterogeneous
+        columns never hit an unorderable ``int < str`` comparison — the
+        same total order every engine's deterministic stream uses.
+
+        ``weights`` substitutes an external (parallel) weight vector for
+        the stored one — the batch engine passes *lifted* weights so tie
+        groups form in the ranking carrier, exactly as the any-k engines
+        see them.
+        """
+        # Deferred import: repro.anyk sits above repro.data.
+        from repro.anyk.ranking import solution_tie_key
+
+        if weights is None:
+            weights = self._weights
+        elif len(weights) != len(self._weights):
+            raise ValueError(
+                f"external weight vector has {len(weights)} entries "
+                f"for {len(self._weights)} rows"
+            )
+        rows = self.rows()
+        return sorted(
+            range(len(rows)),
+            key=lambda i: (weights[i], solution_tie_key(rows[i])),
+        )

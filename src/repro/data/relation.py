@@ -39,7 +39,16 @@ class Relation:
         every row, which makes unweighted (pure join) use transparent.
     """
 
-    __slots__ = ("name", "schema", "rows", "weights", "version", "_indexes")
+    __slots__ = (
+        "name",
+        "schema",
+        "rows",
+        "weights",
+        "version",
+        "_indexes",
+        "_positions",
+        "_columnar",
+    )
 
     def __init__(
         self,
@@ -65,6 +74,11 @@ class Relation:
         #: row, insert another) never collide in plan/stats caches.
         self.version: int = 0
         self._indexes: dict[tuple[str, ...], dict] = {}
+        # Memoized attribute-tuple -> column-position resolutions.  The
+        # schema is immutable for the life of the relation, so entries
+        # never invalidate (unlike _indexes, which depend on the rows).
+        self._positions: dict[tuple[str, ...], tuple[int, ...]] = {}
+        self._columnar = None
         if rows is not None:
             weight_list = list(weights) if weights is not None else None
             row_list = [tuple(row) for row in rows]
@@ -116,6 +130,7 @@ class Relation:
         self.rows.append(row)
         self.weights.append(weight)
         self._indexes.clear()
+        self._columnar = None
 
     def extend(
         self, rows: Iterable[Sequence[Any]], weights: Optional[Iterable[float]] = None
@@ -128,24 +143,75 @@ class Relation:
             for row, weight in zip(rows, weights, strict=True):
                 self.add(row, weight)
 
+    def bulk_load(
+        self, rows: Sequence[Sequence[Any]], weights: Sequence[float]
+    ) -> None:
+        """Append many rows at once, validating vector-at-a-time.
+
+        The bulk counterpart of :meth:`add` for engines that materialize
+        whole join results (the binary hash join, the batch baseline):
+        one arity sweep, one finiteness sweep, one cache invalidation —
+        instead of a per-row method call that clears the index cache
+        ``len(rows)`` times.
+        """
+        rows = [row if type(row) is tuple else tuple(row) for row in rows]
+        weights = [float(w) for w in weights]
+        if len(rows) != len(weights):
+            raise SchemaError(
+                f"relation {self.name!r}: {len(rows)} rows but "
+                f"{len(weights)} weights"
+            )
+        arity = len(self.schema)
+        for row in rows:
+            if len(row) != arity:
+                raise SchemaError(
+                    f"relation {self.name!r}: row {row!r} has arity "
+                    f"{len(row)}, schema has arity {arity}"
+                )
+        if not all(map(math.isfinite, weights)):
+            bad = next(w for w in weights if not math.isfinite(w))
+            raise SchemaError(
+                f"relation {self.name!r}: weight {bad!r} is not finite"
+            )
+        self.rows.extend(rows)
+        self.weights.extend(weights)
+        self._indexes.clear()
+        self._columnar = None
+
     # ------------------------------------------------------------------
     # Attribute access helpers
     # ------------------------------------------------------------------
     def positions(self, attrs: Sequence[str]) -> tuple[int, ...]:
         """Column positions of the named attributes.
 
+        Memoized per attribute tuple: the schema never changes, and the
+        hot loops (T-DP bucket keys, trie builds, factorized caches) ask
+        for the same handful of attribute subsets millions of times —
+        a linear ``schema.index`` scan per call was pure overhead.
         Raises :class:`SchemaError` for unknown attribute names.
         """
+        attrs = tuple(attrs)
+        cached = self._positions.get(attrs)
+        if cached is not None:
+            return cached
         try:
-            return tuple(self.schema.index(a) for a in attrs)
+            resolved = tuple(self.schema.index(a) for a in attrs)
         except ValueError as exc:
             raise SchemaError(
                 f"relation {self.name!r} with schema {self.schema} has no "
-                f"attribute among {tuple(attrs)!r}"
+                f"attribute among {attrs!r}"
             ) from exc
+        self._positions[attrs] = resolved
+        return resolved
 
     def key_of(self, row: Sequence[Any], attrs: Sequence[str]) -> tuple:
-        """Project ``row`` onto ``attrs`` (as a tuple key)."""
+        """Project ``row`` onto ``attrs`` (as a tuple key).
+
+        Per-call-site users projecting many rows should resolve
+        :meth:`positions` once and index directly; this convenience
+        wrapper at least no longer pays a linear schema scan per call
+        (see :meth:`positions`).
+        """
         return tuple(row[p] for p in self.positions(attrs))
 
     # ------------------------------------------------------------------
@@ -210,6 +276,9 @@ class Relation:
         out = Relation(name or self.name, new_schema)
         out.rows = list(self.rows)
         out.weights = list(self.weights)
+        # A renamed view is the same data generation: resetting to 0
+        # would alias a static fingerprint in the plan/stats caches.
+        out.version = self.version
         return out
 
     def copy(self, name: Optional[str] = None) -> "Relation":
@@ -221,12 +290,44 @@ class Relation:
         return out
 
     def sorted_by_weight(self) -> "Relation":
-        """A copy sorted by ascending weight (ties broken by row value)."""
-        order = sorted(range(len(self.rows)), key=lambda i: (self.weights[i], self.rows[i]))
+        """A copy sorted by ascending weight (ties broken by row value).
+
+        Ties are broken by the type-tagged row order
+        (:func:`repro.anyk.ranking.solution_tie_key`), not by the raw
+        row: comparing raw rows raises ``TypeError`` on heterogeneous
+        columns (``int < str``), which the hub-graph datasets mixing
+        string hub labels with integer spokes hit through the top-k
+        middleware's sorted scans.
+        """
+        # Deferred import: repro.anyk sits above repro.data.
+        from repro.anyk.ranking import solution_tie_key
+
+        rows, weights = self.rows, self.weights
+        order = sorted(
+            range(len(rows)),
+            key=lambda i: (weights[i], solution_tie_key(rows[i])),
+        )
         out = Relation(self.name, self.schema)
-        out.rows = [self.rows[i] for i in order]
-        out.weights = [self.weights[i] for i in order]
+        out.rows = [rows[i] for i in order]
+        out.weights = [weights[i] for i in order]
+        # Same data generation, like copy()/rename().
+        out.version = self.version
         return out
+
+    def columnar(self, backend: Optional[str] = None):
+        """A cached columnar view (:class:`repro.data.columnar.ColumnStore`).
+
+        Built on first use and invalidated on mutation, like the hash
+        indexes.  Passing an explicit ``backend`` bypasses the cache
+        (the cached view uses the environment-selected default).
+        """
+        from repro.data.columnar import ColumnStore
+
+        if backend is not None:
+            return ColumnStore.from_relation(self, backend=backend)
+        if self._columnar is None:
+            self._columnar = ColumnStore.from_relation(self)
+        return self._columnar
 
     def as_set(self) -> set[tuple]:
         """The set of distinct rows (weights ignored)."""

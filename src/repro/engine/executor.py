@@ -227,6 +227,10 @@ def execute(
                 method=plan.engine,
                 k=k,
                 counters=counters,
+                # The plan's kernel slot pins the compiled enumeration
+                # template across executions of a cached plan (None for
+                # non-any-k engines: rank_enumerate ignores it then).
+                kernel_slot=plan.kernel_slot,
             )
             if profile is not None:
                 stream = profile.wrap(stream)

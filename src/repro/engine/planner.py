@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional, TYPE_CHECKING
+from typing import Any, Optional, TYPE_CHECKING
 
 from repro.anyk.cyclic import is_fourcycle
 from repro.anyk.ranking import RankingFunction, SUM
@@ -109,6 +109,14 @@ class Plan:
     #: plain, unversioned databases).  A mutation publishes a higher
     #: version, so any plan reporting an older one is known-stale.
     snapshot_version: Optional[int] = None
+    #: Compiled-kernel pin (:class:`repro.anyk.kernels.KernelSlot`) for
+    #: any-k engines: the first execution stores the shape's compiled
+    #: template here, and — because the plan cache's soft-hit re-bind
+    #: copies the dataclass sharing this field by reference — every
+    #: later execution of the cached plan reuses it without even a
+    #: template-cache lookup.  None for non-any-k engines and for plans
+    #: routed outside the SQL layer.
+    kernel_slot: Optional[Any] = None
 
     @property
     def is_anyk(self) -> bool:
@@ -401,6 +409,10 @@ def plan_compiled(
     )
     plan.working_db = working_db
     plan.working_cq = working_cq
+    if plan.is_anyk:
+        from repro.anyk.kernels import KernelSlot
+
+        plan.kernel_slot = KernelSlot()
     # Versioned snapshots stamp their Database; recording it lets EXPLAIN
     # say exactly which data generation the costing read.
     plan.snapshot_version = db.version

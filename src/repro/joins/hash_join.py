@@ -47,20 +47,42 @@ def hash_join(
         right.schema.index(a) for a in out_schema if a not in left.schema
     ]
 
+    # Accumulate whole output columns, then bulk-load once: the result
+    # is materialized with a single arity/finiteness sweep and a single
+    # cache invalidation instead of a per-row ``add`` (the hot path of
+    # every batch-engine join; E1's adversarial instance materializes
+    # Θ(n²) tuples here).
+    out_rows: list[tuple] = []
+    out_weights: list[float] = []
+    build_rows, build_weights = build.rows, build.weights
     for probe_id, probe_row in enumerate(probe.rows):
         if counters is not None:
             counters.tuples_read += 1
             counters.hash_probes += 1
         key = tuple(probe_row[p] for p in probe_positions)
-        for build_id in build_index.get(key, ()):
-            if swapped:
-                left_row, right_row = probe_row, build.rows[build_id]
-                left_w, right_w = probe.weights[probe_id], build.weights[build_id]
-            else:
-                left_row, right_row = build.rows[build_id], probe_row
-                left_w, right_w = build.weights[build_id], probe.weights[probe_id]
-            row = tuple(left_row) + tuple(right_row[p] for p in right_extra_positions)
-            out.add(row, combine(left_w, right_w))
-            if counters is not None:
-                counters.intermediate_tuples += 1
+        matches = build_index.get(key)
+        if not matches:
+            continue
+        probe_weight = probe.weights[probe_id]
+        if swapped:
+            out_rows.extend(
+                probe_row
+                + tuple(build_rows[b][p] for p in right_extra_positions)
+                for b in matches
+            )
+            out_weights.extend(
+                combine(probe_weight, build_weights[b]) for b in matches
+            )
+        else:
+            out_rows.extend(
+                build_rows[b]
+                + tuple(probe_row[p] for p in right_extra_positions)
+                for b in matches
+            )
+            out_weights.extend(
+                combine(build_weights[b], probe_weight) for b in matches
+            )
+    out.bulk_load(out_rows, out_weights)
+    if counters is not None:
+        counters.intermediate_tuples += len(out_rows)
     return out

@@ -110,6 +110,31 @@ def build_report(
         "counters": counters.snapshot(),
         "plan": render_explain(compiled, plan),
         "cache": dict(cache) if cache else {"plan_cache": "bypass"},
+        "kernel": _kernel_report(plan),
+    }
+
+
+def _kernel_report(plan: "Plan") -> dict:
+    """Compiled-kernel attribution for one executed plan.
+
+    ``slot`` says whether this plan holds a pinned compiled template
+    (``warm`` after its first any-k execution, ``cold`` before,
+    ``none`` for engines without kernels); ``stats`` is the process-wide
+    per-engine counter snapshot for the plan's engine.
+    """
+    from repro.anyk.kernels import kernel_stats
+
+    slot = getattr(plan, "kernel_slot", None)
+    if slot is None:
+        state = "none"
+    elif slot.template is not None:
+        state = "warm"
+    else:
+        state = "cold"
+    return {
+        "engine": plan.engine,
+        "slot": state,
+        "stats": kernel_stats().get(plan.engine, {}),
     }
 
 
@@ -210,6 +235,14 @@ def render_analyze(report: dict) -> str:
             "cache:    "
             + "  ".join(f"{name}={value}" for name, value in cache.items())
         )
+    kernel = report.get("kernel")
+    if kernel and kernel.get("slot") != "none":
+        stats = kernel.get("stats", {})
+        detail = f"slot={kernel['slot']}"
+        for event in ("installs", "slot_hits", "template_hits", "compiles"):
+            if event in stats:
+                detail += f"  {event}={stats[event]}"
+        lines.append(f"kernels:  {detail}")
     lines.append("operators:")
     for op in report.get("operators", ()):
         name = op.get("operator", "?")

@@ -292,6 +292,15 @@ class CachedPlan:
     ``fingerprint`` with ``costed_values`` bound.  ``hits`` is bumped
     atomically under the cache lock; ``recosts`` counts in-place
     re-routings after large data drift.
+
+    For any-k engines the entry also carries the compiled enumeration
+    kernel, via ``plan.kernel_slot`` (a
+    :class:`repro.anyk.kernels.KernelSlot`): the slot rides inside the
+    plan dataclass, and the service's soft-hit re-bind copies the plan
+    *sharing the slot by reference*, so a warm statement reuses the
+    shape's compiled template without planning or kernel setup.  A
+    :meth:`recost` replaces the plan wholesale — and with it the slot —
+    exactly when the routing (and possibly the shape) changed.
     """
 
     compiled: "CompiledQuery"
@@ -300,6 +309,11 @@ class CachedPlan:
     costed_values: tuple = ()
     hits: int = field(default=0)
     recosts: int = field(default=0)
+
+    @property
+    def kernel_slot(self):
+        """The entry's compiled-kernel pin (None for non-any-k plans)."""
+        return getattr(self.plan, "kernel_slot", None)
 
     def recost(
         self, plan: "Plan", fingerprint: tuple, values: tuple

@@ -801,6 +801,30 @@ class QueryService:
             samples.append(
                 ("repro_cache_misses_total", labels, info["misses"])
             )
+        # Compiled-kernel accounting: per-engine event counters plus the
+        # process-wide template cache, labeled like the other caches.
+        from repro.anyk.kernels import kernel_cache_info, kernel_stats
+
+        for engine, counts in sorted(kernel_stats().items()):
+            for event, value in sorted(counts.items()):
+                samples.append(
+                    (
+                        f"repro_kernel_{event}_total",
+                        {"engine": engine},
+                        value,
+                    )
+                )
+        kernel_info = kernel_cache_info()
+        kernel_labels = {"cache": "kernel"}
+        samples.append(
+            ("repro_cache_entries", kernel_labels, kernel_info["entries"])
+        )
+        samples.append(
+            ("repro_cache_hits_total", kernel_labels, kernel_info["hits"])
+        )
+        samples.append(
+            ("repro_cache_misses_total", kernel_labels, kernel_info["misses"])
+        )
         for name, value in self.counters.snapshot().items():
             if isinstance(value, (int, float)):
                 samples.append(("repro_engine_work", {"counter": name}, value))

@@ -1,0 +1,103 @@
+"""Columnar store: parity with the row store, backends, cached views."""
+
+import pytest
+
+from repro.data.columnar import ColumnStore, resolve_backend
+from repro.data.relation import Relation
+
+
+def sample_relation() -> Relation:
+    return Relation(
+        "R",
+        ("a", "b", "c"),
+        [(1, "x", 2.0), (3, "y", 4.0), (1, "z", 6.0), (5, "x", 8.0)],
+        [0.4, 0.1, 0.4, 0.2],
+    )
+
+
+def test_append_parity_with_row_store():
+    r = sample_relation()
+    store = ColumnStore(r.schema)
+    for row, weight in zip(r.rows, r.weights):
+        store.append(row, weight)
+    assert len(store) == len(r)
+    assert store.rows() == r.rows
+    assert list(store.weights) == r.weights
+    assert [store.row(i) for i in range(len(r))] == r.rows
+
+
+def test_extend_parity_and_validation():
+    r = sample_relation()
+    store = ColumnStore(r.schema)
+    store.extend(r.rows, r.weights)
+    assert store.rows() == r.rows
+    with pytest.raises(ValueError):
+        store.extend([(1, 2)], [0.0])  # wrong arity
+    with pytest.raises(ValueError):
+        store.extend([(1, 2, 3)], [float("inf")])
+    with pytest.raises(ValueError):
+        store.extend([(1, 2, 3)], [0.1, 0.2])  # length mismatch
+
+
+def test_index_parity_with_row_store():
+    r = sample_relation()
+    store = ColumnStore.from_relation(r)
+    for attrs in (("a",), ("b",), ("a", "c"), ("c", "a")):
+        assert store.index_on(attrs) == r.index_on(attrs)
+
+
+def test_project_parity_with_row_store():
+    r = sample_relation()
+    store = ColumnStore.from_relation(r)
+    projected = r.project(("c", "a"))
+    assert store.project(("c", "a")) == projected.rows
+    assert store.column("b") == [row[1] for row in r.rows]
+    with pytest.raises(KeyError):
+        store.column("missing")
+
+
+def test_sorted_order_uses_type_tagged_tie_order():
+    store = ColumnStore(("v",))
+    store.extend([("b",), (2,), ("a",), (1,)], [0.5, 0.5, 0.5, 0.1])
+    order = store.sorted_order()
+    assert [store.row(i) for i in order] == [(1,), (2,), ("a",), ("b",)]
+
+
+def test_sorted_order_external_weights():
+    store = ColumnStore(("v",))
+    store.extend([(1,), (2,)], [0.1, 0.9])
+    assert store.sorted_order(weights=[5.0, 1.0]) == [1, 0]
+    with pytest.raises(ValueError):
+        store.sorted_order(weights=[1.0])
+
+
+def test_relation_columnar_view_is_cached_and_invalidated():
+    r = sample_relation()
+    view = r.columnar()
+    assert view is r.columnar()
+    r.add((9, "q", 1.0), 0.7)
+    fresh = r.columnar()
+    assert fresh is not view
+    assert len(fresh) == 5
+
+
+def test_numpy_backend_flag_and_fallback(monkeypatch):
+    monkeypatch.delenv("REPRO_COLUMNAR_NUMPY", raising=False)
+    assert resolve_backend(None) == "list"
+    monkeypatch.setenv("REPRO_COLUMNAR_NUMPY", "1")
+    resolved = resolve_backend(None)
+    assert resolved in ("numpy", "list")  # degrades without numpy installed
+    with pytest.raises(ValueError):
+        resolve_backend("arrow")
+
+
+def test_numpy_backend_weight_vector_parity():
+    numpy = pytest.importorskip("numpy")
+    r = sample_relation()
+    store = r.columnar(backend="numpy")
+    weights = store.weights
+    assert isinstance(weights, numpy.ndarray)
+    assert weights.dtype == numpy.float64
+    assert list(weights) == r.weights
+    assert store.rows() == r.rows
+    assert store.sorted_order() == r.columnar(backend="list").sorted_order()

@@ -23,7 +23,7 @@ import random
 import pytest
 
 from repro.anyk.api import rank_enumerate
-from repro.anyk.ranking import SUM
+from repro.anyk.ranking import MAX, PRODUCT, SUM
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.parallel import parallel_rank_enumerate, shard_stream
@@ -117,6 +117,101 @@ def test_full_stream_agreement_beyond_prefix(workers):
     for method in ANYK_ENGINES:
         got = _run(db, query, method, None, workers)
         assert got == reference
+
+
+# ----------------------------------------------------------------------
+# Compiled kernels vs the interpreted path
+# ----------------------------------------------------------------------
+
+#: Seeds replayed on the kernel axis (seed 0 and 5 use the coarse grid,
+#: so heavy tie groups flow through compiled row assembly too).
+NUM_KERNEL_INSTANCES = 12
+
+#: Rankings the kernel axis sweeps (LEX is covered in test_kernels.py;
+#: batch has no kernels and serves as the reference stream).
+KERNEL_RANKINGS = (SUM, MAX, PRODUCT)
+
+KERNEL_ENGINES = ("part:lazy", "rec")
+
+
+def _positive_weights(db: Database) -> Database:
+    """The same instance with every weight shifted by +1.0 (grid-exact),
+    as PRODUCT requires strictly positive weights."""
+    shifted = Database()
+    for relation in db:
+        copy = relation.copy()
+        copy.weights = [w + 1.0 for w in copy.weights]
+        shifted.add(copy)
+    return shifted
+
+
+@pytest.mark.parametrize("seed", range(NUM_KERNEL_INSTANCES))
+def test_compiled_kernels_match_interpreted_streams(seed):
+    """part/rec × SUM/MAX/PRODUCT: compiled kernels must reproduce the
+    interpreted ranked prefix byte-for-byte, with batch as referee."""
+    db, query, k = random_acyclic_instance(seed)
+    for ranking in KERNEL_RANKINGS:
+        instance = _positive_weights(db) if ranking is PRODUCT else db
+        # Batch referees SUM and MAX bitwise (grid weights make every
+        # association order exact).  PRODUCT folds in log space, where
+        # batch's pre-combined log(a*b) can differ from log(a)+log(b) in
+        # the last ulp — there the contract under test is exactly the
+        # kernel one: compiled == interpreted, byte for byte.
+        reference = None
+        if ranking is not PRODUCT:
+            reference = list(
+                rank_enumerate(
+                    instance, query, ranking=ranking, method="batch", k=k
+                )
+            )
+        for method in KERNEL_ENGINES:
+            interpreted = list(
+                rank_enumerate(
+                    instance, query, ranking=ranking, method=method, k=k,
+                    compile_kernels=False,
+                )
+            )
+            compiled = list(
+                rank_enumerate(
+                    instance, query, ranking=ranking, method=method, k=k,
+                    compile_kernels=True,
+                )
+            )
+            assert compiled == interpreted, (seed, ranking.name, method)
+            if reference is not None:
+                assert interpreted == reference, (seed, ranking.name, method)
+
+
+@pytest.mark.parametrize("seed", (1, 5))
+def test_compiled_kernels_match_across_worker_processes(seed):
+    """Workers run kernels at their default (on): the sharded parallel
+    stream must equal the interpreted serial one for every ranking —
+    part/rec/batch × SUM/MAX/PRODUCT × workers {1,4}."""
+    db, query, k = random_acyclic_instance(seed)
+    for ranking in KERNEL_RANKINGS:
+        instance = _positive_weights(db) if ranking is PRODUCT else db
+        for method in KERNEL_ENGINES + ("batch",):
+            reference = list(
+                rank_enumerate(
+                    instance, query, ranking=ranking, method=method, k=k,
+                    compile_kernels=False,
+                )
+            )
+            for workers in WORKER_GRID:
+                if workers == 1:
+                    got = list(
+                        shard_stream(
+                            instance, query, ranking, method=method, k=k
+                        )
+                    )
+                else:
+                    got = list(
+                        parallel_rank_enumerate(
+                            instance, query, ranking=ranking, method=method,
+                            k=k, workers=workers,
+                        )
+                    )
+                assert got == reference, (seed, ranking.name, method, workers)
 
 
 NUM_DYNAMIC_INSTANCES = 10

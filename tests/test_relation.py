@@ -120,3 +120,73 @@ def test_sorted_by_weight_ascending_with_ties_on_rows():
 def test_as_set_drops_duplicates():
     r = Relation("R", ("a",), [(1,), (1,), (2,)])
     assert r.as_set() == {(1,), (2,)}
+
+# ----------------------------------------------------------------------
+# Regressions: mixed-type tie order, version propagation, positions memo
+# ----------------------------------------------------------------------
+def test_sorted_by_weight_mixed_type_column_does_not_crash():
+    """Regression: tie-breaking by raw row raised ``TypeError`` when an
+    equal-weight tie group mixed ``str`` and ``int`` values in one
+    column (the hub-graph datasets' string hub labels vs int spokes).
+    Ties now use the type-tagged ``solution_tie_key`` order: within one
+    weight, ints sort before strs (by type name), then by value."""
+    r = Relation(
+        "Hub",
+        ("node", "spoke"),
+        [("hub", 1), (2, 1), ("apex", 1), (1, 1)],
+        [0.5, 0.5, 0.5, 0.5],
+    )
+    s = r.sorted_by_weight()
+    assert s.rows == [(1, 1), (2, 1), ("apex", 1), ("hub", 1)]
+    assert s.weights == [0.5] * 4
+
+
+def test_sorted_by_weight_mixed_types_still_orders_by_weight_first():
+    r = Relation("R", ("a",), [("z",), (1,)], [0.9, 0.1])
+    assert r.sorted_by_weight().rows == [(1,), ("z",)]
+
+
+def test_version_survives_all_three_copying_ops():
+    """Regression: ``rename`` and ``sorted_by_weight`` reset ``version``
+    to 0 while ``copy`` preserved it, so a derived relation could alias
+    a static (version-0) fingerprint in the plan/stats caches."""
+    r = Relation("R", ("a", "b"), [(1, 2), (3, 4)], [0.2, 0.1])
+    r.version = 7
+    assert r.copy().version == 7
+    assert r.rename({"a": "x"}).version == 7
+    assert r.sorted_by_weight().version == 7
+    # Chaining keeps the generation too.
+    assert r.rename({"b": "y"}).sorted_by_weight().copy().version == 7
+
+
+def test_positions_are_memoized_per_attrs_tuple():
+    r = Relation("R", ("a", "b", "c"))
+    first = r.positions(("c", "a"))
+    assert first == (2, 0)
+    assert r.positions(("c", "a")) is first  # cached tuple, not re-resolved
+    assert r.positions(["c", "a"]) is first  # list spelling shares the entry
+    with pytest.raises(SchemaError):
+        r.positions(("c", "missing"))
+
+
+def test_bulk_load_matches_per_row_add():
+    a = Relation("R", ("x", "y"))
+    b = Relation("R", ("x", "y"))
+    rows = [(1, 2), (3, 4), (5, 6)]
+    weights = [0.3, 0.1, 0.2]
+    for row, w in zip(rows, weights):
+        a.add(row, w)
+    b.bulk_load(rows, weights)
+    assert a.rows == b.rows and a.weights == b.weights
+    # Same validation as add(): arity and finiteness.
+    with pytest.raises(SchemaError):
+        b.bulk_load([(1,)], [0.0])
+    with pytest.raises(SchemaError):
+        b.bulk_load([(1, 2)], [float("nan")])
+    with pytest.raises(SchemaError):
+        b.bulk_load([(1, 2)], [0.1, 0.2])
+    # Invalidates cached indexes exactly like add().
+    index = b.index_on(("x",))
+    assert index[(1,)] == [0]
+    b.bulk_load([(1, 9)], [0.0])
+    assert b.index_on(("x",))[(1,)] == [0, 3]
