@@ -1,0 +1,320 @@
+"""E27: the space profiler audits itself — model bytes vs tracemalloc.
+
+:mod:`repro.obs.memory` charges every engine structure a *calibrated*
+bytes-per-entry price instead of walking live objects, so the hot path
+stays O(1).  A model that cheap is only trustworthy if it tracks what
+the allocator actually does.  This bench holds it to three claims:
+
+- **Honesty** — the model accounts *retained* engine state, so it is
+  compared against ``tracemalloc``'s retained delta measured at the
+  k-th result with the engine state fully built and still alive (after
+  a ``gc.collect()``), per engine: the model must land within 2x, both
+  sides.  The raw allocator *peak* — which additionally counts
+  transient join-phase churn the model deliberately does not cover —
+  is recorded alongside as context.
+- **The paper's space story** — ANYK-REC memoizes ranked suffixes, so
+  its peak memory grows with k while ANYK-PART carries only its
+  priority-queue frontier.  The absolute REC−PART gap must widen
+  monotonically with k and REC must peak strictly above PART at the
+  largest k.
+- **Degrade, don't die** — a service under a deliberately tiny
+  ``--max-mem-mb`` watermark refuses admission with the clean
+  ``mem_pressure`` error code (never ``internal``), keeps serving held
+  cursors, and recovers once they close.
+
+It also re-measures the accounting tax: enumeration with a tracker
+attached vs without, median over repeats, recorded and bounded (the
+same ≤5% guard the tracing layer lives under).
+
+Writes ``BENCH_memory.json``.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_e27_memory.py
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import sys
+import time
+import tracemalloc
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import print_table  # noqa: E402
+
+from repro.anyk.api import rank_enumerate  # noqa: E402
+from repro.data.generators import path_database  # noqa: E402
+from repro.obs import MemoryProfile, attach_tracker  # noqa: E402
+from repro.query.cq import path_query  # noqa: E402
+from repro.server import QueryService  # noqa: E402
+from repro.util.counters import Counters  # noqa: E402
+
+SEED = 7
+ENGINES = ("part:lazy", "part:eager", "rec", "batch")
+#: Cross-check enumeration size: big enough that engine state (not the
+#: fixed T-DP skeleton) dominates the tracemalloc delta.
+CROSS_K = 4000
+#: The model must land within this factor of tracemalloc, both sides.
+MODEL_BAND = 2.0
+SEPARATION_KS = (100, 500, 2000, 8000)
+OVERHEAD_REPEATS = 7
+OVERHEAD_LIMIT = 0.05
+
+SQL = (
+    "SELECT * FROM R1 JOIN R2 ON R1.A2 = R2.A2 JOIN R3 ON R2.A3 = R3.A3 "
+    "ORDER BY weight LIMIT 2000"
+)
+
+
+def _drain(db, query, method: str, k: int, counters: Counters) -> int:
+    emitted = 0
+    for _ in rank_enumerate(db, query, method=method, k=k, counters=counters):
+        emitted += 1
+    return emitted
+
+
+def cross_check(db, query) -> list[dict]:
+    """Model peak vs tracemalloc's retained delta, per engine.
+
+    The retained delta is read at the k-th yield — generator still
+    alive, every engine structure at full size — after a collect, so
+    it counts exactly what the model claims to count.  The allocator
+    peak (transient churn included) rides along as context.
+    """
+    rows = []
+    for method in ENGINES:
+        # Warm up once so one-time costs outside the model's scope —
+        # kernel compilation, plan/stat caches, interning — don't land
+        # in the measured window.
+        _drain(db, query, method, CROSS_K, Counters())
+        profile = MemoryProfile()
+        counters = Counters()
+        attach_tracker(counters, profile)
+        gc.collect()
+        tracemalloc.start()
+        try:
+            tracemalloc.reset_peak()
+            base, _ = tracemalloc.get_traced_memory()
+            emitted = 0
+            retained = 0
+            for _ in rank_enumerate(
+                db, query, method=method, k=CROSS_K, counters=counters
+            ):
+                emitted += 1
+                if emitted == CROSS_K:
+                    gc.collect()
+                    current, _ = tracemalloc.get_traced_memory()
+                    retained = current - base
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        traced = max(1, retained)
+        model = profile.peak_bytes
+        ratio = model / traced
+        rows.append(
+            {
+                "engine": method,
+                "emitted": emitted,
+                "model_peak_bytes": model,
+                "tracemalloc_retained_bytes": traced,
+                "tracemalloc_peak_bytes": peak - base,
+                "model_over_retained": round(ratio, 3),
+                "within_band": (1.0 / MODEL_BAND) <= ratio <= MODEL_BAND,
+            }
+        )
+    return rows
+
+
+def separation(db, query) -> dict:
+    """PART-vs-REC accounted peak as k grows."""
+    series = {"k": list(SEPARATION_KS), "part:lazy": [], "rec": []}
+    for k in SEPARATION_KS:
+        for method in ("part:lazy", "rec"):
+            profile = MemoryProfile()
+            counters = Counters()
+            attach_tracker(counters, profile)
+            _drain(db, query, method, k, counters)
+            series[method].append(profile.peak_bytes)
+    gaps = [
+        rec - part for rec, part in zip(series["rec"], series["part:lazy"])
+    ]
+    series["rec_minus_part"] = gaps
+    series["rec_over_part"] = [
+        round(rec / max(1, part), 3)
+        for rec, part in zip(series["rec"], series["part:lazy"])
+    ]
+    series["separation_widens"] = all(
+        later > earlier for earlier, later in zip(gaps, gaps[1:])
+    )
+    series["rec_above_part_at_max_k"] = (
+        series["rec"][-1] > series["part:lazy"][-1]
+    )
+    return series
+
+
+def overhead(db, query) -> dict:
+    """Median accounting tax: tracker attached vs plain counters."""
+
+    def run(with_tracker: bool) -> float:
+        counters = Counters()
+        if with_tracker:
+            attach_tracker(counters, MemoryProfile())
+        start = time.perf_counter()
+        _drain(db, query, "part:lazy", CROSS_K, counters)
+        return time.perf_counter() - start
+
+    plain, tracked = [], []
+    for _ in range(OVERHEAD_REPEATS):
+        plain.append(run(False))
+        tracked.append(run(True))
+    plain.sort()
+    tracked.sort()
+    base = plain[OVERHEAD_REPEATS // 2]
+    tax = tracked[OVERHEAD_REPEATS // 2]
+    ratio = tax / base - 1.0
+    return {
+        "plain_median_s": round(base, 6),
+        "tracked_median_s": round(tax, 6),
+        "overhead_fraction": round(ratio, 4),
+        "limit": OVERHEAD_LIMIT,
+        "within_limit": ratio <= OVERHEAD_LIMIT,
+    }
+
+
+def pressure_check(db) -> dict:
+    """Tiny watermark → clean ``mem_pressure`` refusal and recovery."""
+    service = QueryService(db, max_mem_mb=0.05, mem_evict_idle_s=60.0)
+    try:
+        codes = []
+        held = []
+        for request_id in range(32):
+            response = service.handle(
+                {"id": request_id, "op": "query", "sql": SQL, "fetch": 10}
+            )
+            if not response["ok"]:
+                codes.append(response["error"]["code"])
+                break
+            held.append(response["cursor"])
+        refused_clean = codes == ["mem_pressure"]
+        stats = service.memory_stats()
+        for cursor_id in held:
+            service.close(cursor_id)
+        after = service.handle(
+            {"id": 99, "op": "query", "sql": SQL, "fetch": 5}
+        )
+        recovered = after["ok"] and len(after["rows"]) == 5
+        return {
+            "refusal_codes": codes,
+            "refused_with_mem_pressure": refused_clean,
+            "never_internal": "internal" not in codes,
+            "rejections_counted": stats["pressure_rejections"] >= 1,
+            "recovered_after_close": recovered,
+        }
+    finally:
+        service.shutdown()
+
+
+def main() -> int:
+    db = path_database(length=3, size=400, domain=40, seed=SEED)
+    query = path_query(3)
+
+    model_rows = cross_check(db, query)
+    print_table(
+        "E27a: accounted peak vs tracemalloc retained (k=%d)" % CROSS_K,
+        ["engine", "model B", "retained B", "alloc peak B", "model/retained", "within 2x"],
+        [
+            [
+                r["engine"],
+                r["model_peak_bytes"],
+                r["tracemalloc_retained_bytes"],
+                r["tracemalloc_peak_bytes"],
+                r["model_over_retained"],
+                r["within_band"],
+            ]
+            for r in model_rows
+        ],
+    )
+
+    sep = separation(db, query)
+    print_table(
+        "E27b: PART vs REC accounted peak as k grows",
+        ["k", "part:lazy B", "rec B", "rec-part B", "rec/part"],
+        [
+            list(row)
+            for row in zip(
+                sep["k"],
+                sep["part:lazy"],
+                sep["rec"],
+                sep["rec_minus_part"],
+                sep["rec_over_part"],
+            )
+        ],
+    )
+
+    tax = overhead(db, query)
+    print_table(
+        "E27c: accounting overhead (part:lazy, k=%d)" % CROSS_K,
+        ["plain s", "tracked s", "overhead", "limit", "ok"],
+        [
+            [
+                tax["plain_median_s"],
+                tax["tracked_median_s"],
+                tax["overhead_fraction"],
+                tax["limit"],
+                tax["within_limit"],
+            ]
+        ],
+    )
+
+    pressure = pressure_check(db)
+    print_table(
+        "E27d: watermark admission (max_mem_mb=0.05)",
+        ["refusal codes", "clean", "never internal", "recovered"],
+        [
+            [
+                ",".join(pressure["refusal_codes"]),
+                pressure["refused_with_mem_pressure"],
+                pressure["never_internal"],
+                pressure["recovered_after_close"],
+            ]
+        ],
+    )
+
+    checks = {
+        "model_within_2x": all(r["within_band"] for r in model_rows),
+        "rec_above_part_at_max_k": sep["rec_above_part_at_max_k"],
+        "separation_widens": sep["separation_widens"],
+        "overhead_within_limit": tax["within_limit"],
+        "mem_pressure_clean": (
+            pressure["refused_with_mem_pressure"]
+            and pressure["never_internal"]
+            and pressure["recovered_after_close"]
+        ),
+    }
+    report = {
+        "bench": "e27_memory",
+        "seed": SEED,
+        "cross_check": model_rows,
+        "separation": sep,
+        "overhead": tax,
+        "pressure": pressure,
+        "checks": checks,
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_memory.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {out}")
+
+    failed = [name for name, ok in checks.items() if not ok]
+    if failed:
+        print("FAILED checks: " + ", ".join(failed))
+        return 1
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,7 +5,7 @@ with open("README.md", encoding="utf-8") as handle:
 
 setup(
     name="repro-anyk",
-    version="1.9.0",
+    version="1.10.0",
     description=(
         "Optimal joins meet top-k: ranked (any-k) enumeration for "
         "conjunctive queries, with a SQL front-end, cost-based engine "

@@ -19,6 +19,12 @@ from repro.anyk.ranking import RankingFunction, SUM
 from repro.data.database import Database
 from repro.joins.generic_join import evaluate as generic_join
 from repro.joins.yannakakis import evaluate as yannakakis_join
+from repro.obs.memory import (
+    batch_sort_bytes,
+    columnar_row_bytes,
+    row_bytes,
+    tracker_of,
+)
 from repro.query.cq import ConjunctiveQuery
 from repro.query.hypergraph import gyo_reduction
 from repro.util.counters import Counters
@@ -52,5 +58,15 @@ def batch_enumerate(
     if counters is not None:
         counters.comparisons += max(0, len(order) - 1)
     rows = result.rows
+    space = tracker_of(counters)
+    if space is not None:
+        store.attach_gauge(
+            space.gauge("columnar.rows", columnar_row_bytes(len(store.schema)))
+        )
+        space.gauge("batch.sort", batch_sort_bytes()).add(len(order))
+        # The row-wise materialization stays alive beside the columnar
+        # view for the whole emission: the joined row tuples and the raw
+        # weight vector they carry.
+        space.gauge("batch.rows", row_bytes(len(store.schema))).add(len(rows))
     for i in order:
         yield rows[i], lifted[i]

@@ -36,12 +36,21 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional
 
 from repro.anyk.tdp import TDP, Bucket
+from repro.obs.memory import pq_entry_bytes, tracker_of
 from repro.util.heaps import (
     BinaryHeap,
     IncrementalQuickSelect,
     LazySortedList,
     TournamentBucket,
 )
+
+
+def _pq_gauge(tdp: TDP):
+    """The candidate-queue space gauge when profiling is on, else None."""
+    space = tracker_of(tdp.counters)
+    if space is None:
+        return None
+    return space.gauge("part.pq", pq_entry_bytes(tdp.num_stages))
 
 
 class SuccessorStrategy:
@@ -259,7 +268,7 @@ def anyk_part(
     if tdp.is_empty():
         return
 
-    queue = BinaryHeap(tdp.counters)
+    queue = BinaryHeap(tdp.counters, gauge=_pq_gauge(tdp))
     root_bucket = tdp.root_bucket()
     succ.prepare(root_bucket)
     for anchor in succ.initial_anchors(root_bucket):
@@ -322,7 +331,7 @@ def naive_lawler(tdp: TDP) -> Iterator[tuple[tuple, Any]]:
                 tdp.counters.comparisons += len(stage.relation)
         return tdp.prefix_priority(choices)
 
-    queue = BinaryHeap(tdp.counters)
+    queue = BinaryHeap(tdp.counters, gauge=_pq_gauge(tdp))
     root_bucket = tdp.root_bucket()
     succ.prepare(root_bucket)
     anchor = succ.first(root_bucket)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any, Iterator, Optional
 
 from repro.anyk.tdp import TDP, Bucket
+from repro.obs.memory import rec_entry_bytes, rec_solution_bytes, tracker_of
 from repro.util.heaps import BinaryHeap
 
 
@@ -43,15 +44,24 @@ class _Entry:
 class _Stream:
     """Memoized ranked stream of one bucket's subtree solutions."""
 
-    __slots__ = ("tdp", "stage_position", "bucket", "solutions", "heap")
+    __slots__ = ("tdp", "stage_position", "bucket", "solutions", "heap", "sol_gauge")
 
     def __init__(self, tdp: TDP, stage_position: int, bucket: Bucket) -> None:
         self.tdp = tdp
         self.stage_position = stage_position
         self.bucket = bucket
         self.solutions: list[_Entry] = []
-        self.heap = BinaryHeap(tdp.counters)
         stage = tdp.stages[stage_position]
+        space = tracker_of(tdp.counters)
+        if space is None:
+            heap_gauge = self.sol_gauge = None
+        else:
+            children = len(stage.children)
+            heap_gauge = space.gauge("rec.pq", rec_entry_bytes(children))
+            self.sol_gauge = space.gauge(
+                "rec.solutions", rec_solution_bytes(children)
+            )
+        self.heap = BinaryHeap(tdp.counters, gauge=heap_gauge)
         zeros = (0,) * len(stage.children)
         # Every bucket tuple seeds one candidate with all-best children;
         # its weight is exactly the precomputed subtree weight.
@@ -93,6 +103,8 @@ class _Stream:
                 return None
             (weight, _), (position, child_ranks, dev) = self.heap.pop()
             self.solutions.append(_Entry(weight, position, child_ranks))
+            if self.sol_gauge is not None:
+                self.sol_gauge.add(1)
             # Push rank-increments at coordinates >= dev (Lawler-style
             # deviation index: no duplicates, full coverage).
             for j in range(dev, len(child_ranks)):

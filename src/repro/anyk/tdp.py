@@ -35,6 +35,7 @@ from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.anyk.ranking import RankingFunction, SUM
 from repro.joins.semijoin import full_reducer
+from repro.obs.memory import tdp_bucket_bytes, tdp_tuple_bytes, tracker_of
 from repro.query.cq import ConjunctiveQuery
 from repro.query.hypergraph import JoinTree, join_tree_or_raise
 from repro.util.counters import Counters
@@ -138,6 +139,18 @@ class TDP:
                     seen.add(variable)
                     writers.append((schema_position, out_position[variable]))
             self._writers.append(writers)
+
+        # Static footprint: the compiled program holds every surviving
+        # tuple's bucket/weight state for its whole lifetime, so account
+        # for it once here rather than on any hot path.
+        space = tracker_of(counters)
+        if space is not None:
+            space.gauge("tdp.tuples", tdp_tuple_bytes()).add(
+                self.total_tuples()
+            )
+            space.gauge("tdp.buckets", tdp_bucket_bytes()).add(
+                sum(len(stage_buckets) for stage_buckets in self.buckets)
+            )
 
     # ------------------------------------------------------------------
     # Construction

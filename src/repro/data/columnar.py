@@ -74,7 +74,7 @@ class ColumnStore:
     ``array('d')``, or a numpy float64 array under the numpy backend).
     """
 
-    __slots__ = ("schema", "columns", "backend", "_weights")
+    __slots__ = ("schema", "columns", "backend", "_weights", "_gauge")
 
     def __init__(
         self, schema: Sequence[str], backend: Optional[str] = None
@@ -85,6 +85,15 @@ class ColumnStore:
         self.columns: list[list[Any]] = [[] for _ in self.schema]
         self.backend = resolve_backend(backend)
         self._weights: list[float] = []
+        self._gauge: Any = None
+
+    def attach_gauge(self, gauge: Any) -> None:
+        """Report this store's row count into a space gauge
+        (:class:`repro.obs.memory.SpaceGauge`): the current contents
+        immediately, future appends as they happen."""
+        self._gauge = gauge
+        if gauge is not None and self._weights:
+            gauge.add(len(self._weights))
 
     # ------------------------------------------------------------------
     # Construction
@@ -109,6 +118,8 @@ class ColumnStore:
         for column, value in zip(self.columns, row):
             column.append(value)
         self._weights.append(weight)
+        if self._gauge is not None:
+            self._gauge.add(1)
 
     def extend(
         self, rows: Iterable[Sequence[Any]], weights: Iterable[float]
@@ -130,6 +141,8 @@ class ColumnStore:
         for position, column in enumerate(self.columns):
             column.extend(row[position] for row in rows)
         self._weights.extend(weights)
+        if self._gauge is not None:
+            self._gauge.add(len(rows))
 
     # ------------------------------------------------------------------
     # Access

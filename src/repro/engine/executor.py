@@ -28,6 +28,7 @@ from repro.util.counters import Counters
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.dynamic import MutationResult, VersionedDatabase
     from repro.obs.delay import DelayProfile
+    from repro.obs.memory import MemoryProfile
     from repro.sql.analyzer import CompiledMutation, CompiledQuery
 
 
@@ -150,6 +151,7 @@ def execute(
     plan: Plan,
     counters: Optional[Counters] = None,
     profile: Optional["DelayProfile"] = None,
+    memory: Optional["MemoryProfile"] = None,
 ) -> Iterator[tuple[tuple, Any]]:
     """Run ``plan`` for ``compiled`` over ``db``.
 
@@ -161,10 +163,15 @@ def execute(
     engine stream as it drains: per-result delay, TTF, TT(k), and — for
     parallel plans — per-shard worker attribution folded back across
     the process boundary.  ``None`` (the default) adds zero per-result
-    cost.  The setup work (DESC negation, shard materialization) lands
-    in a tracer span when the process tracer is enabled, parented to
-    whichever request span is current at the first pull.
+    cost.  ``memory`` (a :class:`repro.obs.memory.MemoryProfile`) rides
+    the execution's counters as a space tracker; the engines' structures
+    report entry counts into it at O(1) cost, and parallel plans ship
+    per-shard snapshots home in the worker done frames.  The setup work
+    (DESC negation, shard materialization) lands in a tracer span when
+    the process tracer is enabled, parented to whichever request span is
+    current at the first pull.
     """
+    from repro.obs.memory import attach_tracker
     from repro.obs.trace import tracer
 
     with tracer.span(
@@ -185,6 +192,13 @@ def execute(
 
         if profile is not None and not profile.engine:
             profile.engine = plan.engine
+        if memory is not None:
+            if not memory.engine:
+                memory.engine = plan.engine
+            memory.streams += 1
+            if counters is None:
+                counters = Counters()
+            attach_tracker(counters, memory)
 
         if plan.workers > 1:
             # The router already vetted shardability and picked the shard
@@ -203,6 +217,7 @@ def execute(
                 shard_variable=plan.shard_variable,
                 policy=plan.shard_policy,
                 profile=profile,
+                memory=memory,
             )
         elif plan.engine == "rank_join":
             # The same lift+stabilize+truncate adapter shard workers run,

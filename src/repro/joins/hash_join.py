@@ -15,6 +15,7 @@ import operator
 from typing import Callable, Optional
 
 from repro.data.relation import Relation
+from repro.obs.memory import join_build_entry_bytes, row_bytes, tracker_of
 from repro.util.counters import Counters
 
 
@@ -36,6 +37,15 @@ def hash_join(
 
     build_index = build.index_on(shared) if shared else {(): list(range(len(build)))}
     probe_positions = probe.positions(shared) if shared else ()
+
+    # The build index lives only for this join; account it as transient.
+    space = tracker_of(counters)
+    build_gauge = None
+    build_entries = 0
+    if space is not None:
+        build_gauge = space.gauge("join.build", join_build_entry_bytes())
+        build_entries = sum(len(ids) for ids in build_index.values())
+        build_gauge.add(build_entries)
 
     out_schema = tuple(left.schema) + tuple(
         a for a in right.schema if a not in left.schema
@@ -85,4 +95,7 @@ def hash_join(
     out.bulk_load(out_rows, out_weights)
     if counters is not None:
         counters.intermediate_tuples += len(out_rows)
+    if space is not None:
+        space.gauge("join.rows", row_bytes(len(out_schema))).add(len(out_rows))
+        build_gauge.remove(build_entries)
     return out

@@ -1,6 +1,6 @@
 """repro.obs — end-to-end observability for the any-k stack.
 
-Six pieces, one per module:
+Seven pieces, one per module:
 
 - :mod:`repro.obs.trace` — lightweight span tracing around the request
   pipeline (parse → plan → cache lookup → shard/enumerate → merge →
@@ -22,9 +22,15 @@ Six pieces, one per module:
 - :mod:`repro.obs.events` — the structured query log: sampled
   per-request JSON-lines records with forced slow/error capture,
   size-based rotation, and replay against a live server.
+- :mod:`repro.obs.memory` — the space profiler: calibrated
+  bytes-per-entry models over the engines' load-bearing structures
+  (priority queues, REC solution lists, T-DP state, HRJN buffers, hash
+  buckets, columnar stores) folded into live/peak per-cursor profiles
+  at O(1) hot-path cost, feeding the admission watermark
+  (``repro-serve --max-mem-mb``) and the planner's Q-error feedback.
 - :mod:`repro.obs.slo` — declarative SLO specs (latency percentiles,
-  error rate, availability) evaluated with multi-window burn rates
-  over the registry's live numbers.
+  per-cursor peak memory, error rate, availability) evaluated with
+  multi-window burn rates over the registry's live numbers.
 
 The server (:mod:`repro.server`) exposes all of it on the wire:
 ``metrics``, ``trace``, and ``slo`` ops, ``trace_id`` echoed on every
@@ -38,6 +44,15 @@ from __future__ import annotations
 from repro.obs.analyze import build_report, render_analyze, run_analyze
 from repro.obs.delay import DELAY_BOUNDS, TTK_CHECKPOINTS, DelayProfile
 from repro.obs.events import EventLog, read_events, replay_events, sql_hash
+from repro.obs.memory import (
+    MEM_BOUNDS,
+    QERROR_BOUNDS,
+    MemoryProfile,
+    SpaceGauge,
+    attach_tracker,
+    q_error,
+    tracker_of,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.obs.slo import (
     DEFAULT_SLOS,
@@ -66,20 +81,26 @@ __all__ = [
     "DELAY_BOUNDS",
     "DelayProfile",
     "EventLog",
+    "MEM_BOUNDS",
+    "MemoryProfile",
     "MetricsRegistry",
     "NOOP_SPAN",
+    "QERROR_BOUNDS",
     "SloEngine",
     "SloError",
     "SloSpec",
+    "SpaceGauge",
     "Span",
     "TTK_CHECKPOINTS",
     "Tracer",
+    "attach_tracker",
     "build_report",
     "evaluate_specs",
     "format_traceparent",
     "join_traces",
     "new_trace_id",
     "parse_slo",
+    "q_error",
     "parse_slos",
     "parse_traceparent",
     "read_events",
@@ -90,4 +111,5 @@ __all__ = [
     "run_analyze",
     "sql_hash",
     "tracer",
+    "tracker_of",
 ]

@@ -11,6 +11,12 @@ completion (honoring its LIMIT) and reports what actually happened:
 - the anytime-delay profile (:mod:`repro.obs.delay`): TTF, TT(k), and
   inter-result delay percentiles measured inside the engine, with
   per-shard worker attribution for parallel plans;
+- the space profile (:mod:`repro.obs.memory`): per-category live/peak
+  accounted bytes of the engine structures the run built;
+- planner feedback: the routing-time cardinality estimate (the AGM
+  bound) next to the rows actually produced, with the Q-error between
+  them (flagged ``truncated`` when LIMIT cut the run short — a
+  truncated count says nothing about the true cardinality);
 - the RAM-model counters the engines maintain anyway.
 
 The report is a plain JSON-ready dict (:func:`run_analyze`) with a text
@@ -30,6 +36,7 @@ from repro.util.counters import Counters
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.engine.planner import Plan
+    from repro.obs.memory import MemoryProfile
     from repro.sql.analyzer import CompiledQuery
 
 
@@ -80,6 +87,7 @@ def build_report(
     profile: DelayProfile,
     counters: Counters,
     cache: Optional[dict] = None,
+    memory: Optional["MemoryProfile"] = None,
 ) -> dict:
     """Assemble the EXPLAIN ANALYZE report from an already-measured run.
 
@@ -99,7 +107,7 @@ def build_report(
             "shard_variable": plan.shard_variable,
         }
     )
-    return {
+    report = {
         "sql": str(compiled.statement),
         "engine": plan.engine,
         "workers": plan.workers,
@@ -111,6 +119,32 @@ def build_report(
         "plan": render_explain(compiled, plan),
         "cache": dict(cache) if cache else {"plan_cache": "bypass"},
         "kernel": _kernel_report(plan),
+        "estimates": _estimate_report(compiled, plan, rows),
+    }
+    if memory is not None and memory.touched:
+        report["memory"] = memory.summary()
+    return report
+
+
+def _estimate_report(compiled: "CompiledQuery", plan: "Plan", rows: int) -> dict:
+    """Planner feedback: the routing-time cardinality estimate next to
+    the measured truth.
+
+    The Q-error (``max(est/actual, actual/est)``, both floored at 1) is
+    the planner-quality number the registry histograms per template;
+    here it sits inline in the report.  ``truncated`` flags runs whose
+    LIMIT fired — their row count bounds the true cardinality from
+    below, so the Q-error is only a lower-bound misestimate signal.
+    """
+    from repro.obs.memory import q_error
+
+    k = compiled.k
+    truncated = k is not None and rows >= k
+    return {
+        "estimated_rows": plan.estimates.agm_bound,
+        "actual_rows": rows,
+        "qerror": round(q_error(plan.estimates.agm_bound, rows), 4),
+        "truncated": truncated,
     }
 
 
@@ -183,15 +217,25 @@ def run_analyze(
         plan = plan_compiled(db, compiled, engine=engine)
         plan_ms = (time.perf_counter() - start) * 1000.0
 
+    from repro.obs.memory import MemoryProfile
+
     if counters is None:
         counters = Counters()
     profile = DelayProfile()
+    memory = MemoryProfile()
     with tracer.span(
         "analyze.execute", engine=plan.engine, workers=plan.workers
     ):
         start = time.perf_counter()
         rows = 0
-        for _ in execute(db, compiled, plan, counters=counters, profile=profile):
+        for _ in execute(
+            db,
+            compiled,
+            plan,
+            counters=counters,
+            profile=profile,
+            memory=memory,
+        ):
             rows += 1
         execute_ms = (time.perf_counter() - start) * 1000.0
     total_ms = (time.perf_counter() - whole_start) * 1000.0
@@ -210,6 +254,7 @@ def run_analyze(
         },
         profile=profile,
         counters=counters,
+        memory=memory,
     )
 
 
@@ -286,4 +331,35 @@ def render_analyze(report: dict) -> str:
                 f" results={shard.get('results', 0)}"
                 f" busy={_fmt_ms(shard.get('busy_ms', 0.0))}"
             )
+    memory = report.get("memory")
+    if memory:
+        lines.append(
+            "memory:   "
+            f"peak={memory.get('peak_bytes', 0)} B"
+            f" ({memory.get('peak_mb', 0.0):.3f} MB)"
+            f"  live={memory.get('live_bytes', 0)} B"
+        )
+        for category, detail in sorted(
+            memory.get("categories", {}).items(),
+            key=lambda kv: -kv[1].get("peak_bytes", 0),
+        ):
+            lines.append(
+                f"          {category:<16}"
+                f"peak_entries={detail.get('peak_entries', 0)}"
+                f"  peak={detail.get('peak_bytes', 0)} B"
+            )
+        for shard in memory.get("shards", ()):
+            lines.append(
+                f"          shard[{shard.get('shard', '?')}]"
+                f" peak={shard.get('peak_bytes', 0)} B"
+            )
+    estimates = report.get("estimates")
+    if estimates:
+        note = "  (LIMIT-truncated)" if estimates.get("truncated") else ""
+        lines.append(
+            "estimate: "
+            f"rows~{estimates.get('estimated_rows', 0.0):.6g}"
+            f"  actual={estimates.get('actual_rows', 0)}"
+            f"  qerror={estimates.get('qerror', 1.0):g}{note}"
+        )
     return "\n".join(lines)

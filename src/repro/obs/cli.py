@@ -16,6 +16,8 @@ Examples::
     repro-obs --log query.log             # render a query log (no server)
     repro-obs --replay query.log          # re-issue logged requests
     repro-obs --tail --interval 2         # refresh a summary every 2 s
+    repro-obs --watch 2                   # same live summary, via --watch
+    repro-obs --metrics --watch 5         # live Prometheus text every 5 s
 """
 
 from __future__ import annotations
@@ -104,6 +106,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=2.0,
         help="refresh period for --tail (seconds, default 2)",
+    )
+    parser.add_argument(
+        "--watch",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="live-refresh the selected view every SECONDS (clear + "
+        "redraw; applies to the summary and --metrics views; exit "
+        "cleanly with ^C)",
     )
     return parser
 
@@ -270,6 +281,28 @@ def render_summary(stats: dict) -> str:
                 f"p99={delay.get('p99_ms', 0):>8.4f}  "
                 f"ttf p50={ttf.get('p50_ms', 0):>8.3f}"
             )
+    memory = stats.get("memory")
+    if memory:
+        watermark = memory.get("watermark_bytes")
+        shown = (
+            f"{watermark / 1048576:g} MB" if watermark else "off"
+        )
+        lines.append(
+            f"memory live={memory.get('live_bytes', 0)} B  "
+            f"watermark={shown}  "
+            f"pressure rejected={memory.get('pressure_rejections', 0)} "
+            f"evicted={memory.get('pressure_evictions', 0)}"
+        )
+        mem_profiles = memory.get("profiles", {})
+        if mem_profiles:
+            lines.append("peak memory (accounted, per engine):")
+            for engine in sorted(mem_profiles):
+                p = mem_profiles[engine]
+                lines.append(
+                    f"  {engine:<10} peak={p.get('peak_bytes', 0):>10} B "
+                    f"({p.get('peak_mb', 0.0):.3f} MB)  "
+                    f"streams={p.get('streams', 0)}"
+                )
     tracer_info = stats.get("tracer", {})
     if tracer_info:
         lines.append(
@@ -292,8 +325,37 @@ def render_summary(stats: dict) -> str:
     return "\n".join(lines)
 
 
+def _watch(render, period: float, header: str) -> int:
+    """Clear + redraw ``render()``'s output every ``period`` seconds.
+
+    The live-refresh loop behind ``--watch`` (and ``--tail``, which is
+    the summary view on the same loop).  ^C exits cleanly — watching is
+    how the loop is *meant* to end, not an error.
+    """
+    try:
+        while True:
+            print("\033[2J\033[H", end="")  # clear screen, home
+            print(f"{header}  ({time.strftime('%H:%M:%S')})")
+            render()
+            time.sleep(period)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.watch is not None and args.watch <= 0:
+        print("repro-obs: --watch needs a positive refresh period")
+        return 2
+    if args.watch is not None and (
+        args.trace or args.traces or args.slo or args.log or args.replay
+    ):
+        print(
+            "repro-obs: --watch live-refreshes the summary and --metrics "
+            "views only"
+        )
+        return 2
     if args.log:
         # Pure file view — no server round trip.
         return _print_log(args.log, args.json)
@@ -303,9 +365,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"repro-obs: cannot reach {args.host}:{args.port}: {exc}")
         return 1
     exit_code = 0
+    header = f"repro-obs @ {args.host}:{args.port}"
     try:
         if args.metrics:
-            _print_metrics(client, args.json)
+            if args.watch is not None:
+                exit_code = _watch(
+                    lambda: _print_metrics(client, args.json),
+                    args.watch,
+                    header,
+                )
+            else:
+                _print_metrics(client, args.json)
         elif args.trace:
             exit_code = _print_trace(client, args.trace, args.json)
         elif args.traces:
@@ -316,18 +386,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             exit_code = _print_replay(
                 client, args.replay, args.include_mutations, args.json
             )
-        elif args.tail:
-            try:
-                while True:
-                    print("\033[2J\033[H", end="")  # clear screen, home
-                    print(
-                        f"repro-obs @ {args.host}:{args.port}  "
-                        f"({time.strftime('%H:%M:%S')})"
-                    )
-                    print(render_summary(client.stats()))
-                    time.sleep(args.interval)
-            except KeyboardInterrupt:
-                pass
+        elif args.tail or args.watch is not None:
+            # --metrics --watch is handled above; every other surviving
+            # combination watches the summary view.
+            exit_code = _watch(
+                lambda: print(render_summary(client.stats())),
+                args.watch if args.watch is not None else args.interval,
+                header,
+            )
         else:  # --stats, and the no-flag default snapshot
             _print_stats(client, args.json)
     except ServerError as exc:

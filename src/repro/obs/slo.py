@@ -6,6 +6,7 @@ collects::
 
     query_p99_ms<=25        # 99% of query requests complete in <= 25 ms
     ttf_ms<=5               # p99 (the default percentile) of in-engine TTF
+    peak_mem_mb<=64         # 99% of cursors peak below 64 MB of engine state
     error_rate<=0.1%        # at most 0.1% of requests answer with an error
     availability>=99.9%     # at least 99.9% of requests succeed
 
@@ -15,7 +16,10 @@ Latency specs read the corresponding latency histogram
 ``delay``); the *bad-event* count is the number of observations above
 the threshold — computed with :meth:`Histogram.count_le`, whose
 bucket-edge conservatism means a verdict can be pessimistic but never
-optimistic.  ``error_rate`` and ``availability`` read the request /
+optimistic.  Memory specs (the ``_mb`` suffix) work the same way over a
+byte-valued histogram — ``peak_mem`` reads ``repro_mem_peak_bytes``,
+the per-cursor peak distribution the space profiler feeds at cursor
+retirement.  ``error_rate`` and ``availability`` read the request /
 error totals.
 
 Evaluation follows the SRE burn-rate model: each spec implies an error
@@ -70,6 +74,9 @@ DEFAULT_SLOS: tuple[str, ...] = (
 _LATENCY_RE = re.compile(
     r"^(?P<indicator>[a-z_][a-z0-9_]*?)(?:_p(?P<q>\d+(?:\.\d+)?))?_ms$"
 )
+_MEMORY_RE = re.compile(
+    r"^(?P<indicator>[a-z_][a-z0-9_]*?)(?:_p(?P<q>\d+(?:\.\d+)?))?_mb$"
+)
 _SPEC_RE = re.compile(r"^\s*(?P<lhs>[^<>=\s]+)\s*(?P<cmp><=|>=)\s*(?P<rhs>[^\s]+)\s*$")
 
 
@@ -92,9 +99,11 @@ class SloSpec:
         budget: float,
     ) -> None:
         self.raw = raw
-        self.kind = kind  # 'latency' | 'error_rate' | 'availability'
+        self.kind = kind  # 'latency' | 'memory' | 'error_rate' | 'availability'
         self.indicator = indicator
         self.percentile = percentile
+        # Threshold in the indicator's spec unit: ms for latency specs,
+        # MB for memory specs (converted to bytes at evaluation time).
         self.threshold_ms = threshold_ms
         self.budget = budget
 
@@ -104,6 +113,11 @@ class SloSpec:
             return (
                 f"p{self.percentile:g} of {self.indicator} latency "
                 f"<= {self.threshold_ms:g} ms"
+            )
+        if self.kind == "memory":
+            return (
+                f"p{self.percentile:g} of per-cursor {self.indicator} "
+                f"<= {self.threshold_ms:g} MB"
             )
         if self.kind == "error_rate":
             return f"error rate <= {self.budget * 100:g}%"
@@ -142,12 +156,26 @@ def parse_slo(raw: str) -> SloSpec:
         if not 0.0 < target < 1.0:
             raise SloError(f"{raw!r}: availability target must be in (0, 1)")
         return SloSpec(raw, "availability", "requests", None, None, 1.0 - target)
+    memory = _MEMORY_RE.match(lhs)
+    if memory is not None:
+        if cmp_ != "<=":
+            raise SloError(f"{raw!r}: memory objectives use '<='")
+        if percent:
+            raise SloError(f"{raw!r}: memory thresholds are in MB, not percent")
+        q = float(memory.group("q")) if memory.group("q") else 99.0
+        if not 0.0 < q < 100.0:
+            raise SloError(f"{raw!r}: percentile must be in (0, 100)")
+        if value <= 0:
+            raise SloError(f"{raw!r}: memory threshold must be positive")
+        return SloSpec(
+            raw, "memory", memory.group("indicator"), q, value, 1.0 - q / 100.0
+        )
     latency = _LATENCY_RE.match(lhs)
     if latency is None:
         raise SloError(
             f"malformed SLO spec {raw!r}: unknown indicator {lhs!r} "
-            "(expected '<op>_p<q>_ms', '<op>_ms', 'error_rate', or "
-            "'availability')"
+            "(expected '<op>_p<q>_ms', '<op>_ms', '<indicator>_mb', "
+            "'error_rate', or 'availability')"
         )
     if cmp_ != "<=":
         raise SloError(f"{raw!r}: latency objectives use '<='")
@@ -186,6 +214,12 @@ def spec_counts(
         if hist is None or hist.count == 0:
             return (0, 0)
         return (hist.count, hist.count - hist.count_le(spec.threshold_ms))
+    if spec.kind == "memory":
+        hist = histogram_for(spec.indicator)
+        if hist is None or hist.count == 0:
+            return (0, 0)
+        threshold_bytes = spec.threshold_ms * 1024.0 * 1024.0
+        return (hist.count, hist.count - hist.count_le(threshold_bytes))
     total, errors = requests_errors()
     return (total, min(errors, total))
 

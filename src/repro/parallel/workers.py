@@ -26,7 +26,13 @@ worker additionally profiles its own shard stream (TTF / TT(k) /
 inter-result delay as seen *inside* the worker, no IPC on that path)
 and the parent files the returned snapshots under ``profile.shards`` —
 attribution, not aggregation, so the parent's own measurement of the
-merged stream is never double counted.
+merged stream is never double counted.  A
+:class:`~repro.obs.memory.MemoryProfile` travels the same way: each
+worker space-accounts its own engine structures and ships the snapshot
+in the done frame; the parent files it under ``memory.shards``.  Worker
+bytes live in the worker *process*, so they are deliberately kept out
+of the parent's own live/peak totals (which feed the server's
+admission watermark for the server process).
 
 Trace propagation: when :func:`parallel_rank_enumerate` is called while
 a span is open on the process-wide tracer (the executor's
@@ -63,6 +69,7 @@ from repro.util.counters import Counters
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.obs.delay import DelayProfile
+    from repro.obs.memory import MemoryProfile
 
 #: Results per queue frame (amortizes pickling + IPC per result).
 DEFAULT_CHUNK_SIZE = 128
@@ -164,6 +171,7 @@ def _worker_main(
     chunk_size: int,
     profile_delay: bool = False,
     trace_spans: bool = False,
+    profile_memory: bool = False,
 ) -> None:
     """Worker entry point (module-level so spawn contexts can import it)."""
     counters = Counters()
@@ -183,6 +191,15 @@ def _worker_main(
 
     try:
         with stage("setup"):
+            memory = None
+            if profile_memory:
+                # Attach before the stream exists: the engines read the
+                # tracker off the counters at structure-construction time.
+                from repro.obs.memory import MemoryProfile, attach_tracker
+
+                memory = MemoryProfile(engine=method)
+                memory.streams = 1
+                attach_tracker(counters, memory)
             ranking = ranking_by_name(ranking_name)
             stream = shard_stream(
                 db, query, ranking=ranking, method=method, k=k, counters=counters
@@ -220,6 +237,7 @@ def _worker_main(
                 {
                     "counters": counters.snapshot(),
                     "delay": None if profile is None else profile.snapshot(),
+                    "memory": None if memory is None else memory.snapshot(),
                     "spans": spans,
                 },
             )
@@ -256,6 +274,7 @@ class _ShardFeed:
         counters: Optional[Counters],
         profile: Optional["DelayProfile"] = None,
         trace_anchor: Any = None,
+        memory: Optional["MemoryProfile"] = None,
     ) -> None:
         self._queue = context.Queue(maxsize=QUEUE_DEPTH)
         self._process = context.Process(
@@ -270,12 +289,14 @@ class _ShardFeed:
                 chunk_size,
                 profile is not None,
                 trace_anchor is not None,
+                memory is not None,
             ),
             daemon=True,
         )
         self._shard_index = shard.index
         self._counters = counters
         self._profile = profile
+        self._memory = memory
         self._anchor = trace_anchor
         self._start_s: Optional[float] = None
         self._finished = False
@@ -297,6 +318,12 @@ class _ShardFeed:
             # double count every result).
             delay["shard"] = self._shard_index
             self._profile.shards.append(delay)
+        mem = payload.get("memory")
+        if self._memory is not None and mem is not None:
+            # Same attribution-only contract as the delay snapshots; the
+            # bytes also live in the worker process, not this one.
+            mem["shard"] = self._shard_index
+            self._memory.shards.append(mem)
         spans = payload.get("spans")
         if self._anchor is not None and spans:
             # Graft the worker's subtree under the coordinator's execute
@@ -397,6 +424,7 @@ def parallel_rank_enumerate(
     policy: str = "hash",
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     profile: Optional["DelayProfile"] = None,
+    memory: Optional["MemoryProfile"] = None,
 ) -> Iterator[tuple[tuple, Any]]:
     """Shard, enumerate per shard in worker processes, merge ranked.
 
@@ -441,6 +469,7 @@ def parallel_rank_enumerate(
             counters,
             profile=profile,
             trace_anchor=anchor,
+            memory=memory,
         )
         for shard in live
     ]

@@ -114,6 +114,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission limit on concurrently open cursors",
     )
     parser.add_argument(
+        "--max-mem-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="server-wide memory watermark: once the accounted live bytes "
+        "of all open cursors exceed MB, new queries are refused with a "
+        "mem_pressure error after evicting idle cursors (default: no "
+        "watermark; accounting still runs)",
+    )
+    parser.add_argument(
         "--plan-cache",
         type=int,
         default=128,
@@ -257,6 +267,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         max_frame_bytes=args.max_frame_bytes,
         executor_threads=args.executor_threads,
         max_cursors=args.max_cursors,
+        max_mem_mb=args.max_mem_mb,
         plan_cache_size=args.plan_cache,
         default_batch=args.batch,
         workers=args.workers,

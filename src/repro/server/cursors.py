@@ -22,10 +22,22 @@ from repro.util.counters import Counters
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.obs.delay import DelayProfile
+    from repro.obs.memory import MemoryProfile
 
 
 class CursorLimitError(Exception):
     """Admission control: the server is at its open-cursor limit."""
+
+
+class MemoryPressureError(Exception):
+    """Admission control: the server is over its memory watermark.
+
+    Raised *before* planning/stream construction when the accounted live
+    bytes of all open cursors exceed ``--max-mem-mb`` and evicting idle
+    cursors could not free enough — the clean refusal that replaces an
+    eventual OOM.  Maps to the ``mem_pressure`` wire error code, never
+    ``internal``.
+    """
 
 
 class UnknownCursorError(Exception):
@@ -44,6 +56,10 @@ class Cursor:
         stream: PausableStream,
         counters: Counters,
         profile: Optional["DelayProfile"] = None,
+        memory: Optional["MemoryProfile"] = None,
+        template: Optional[str] = None,
+        estimate: Optional[float] = None,
+        limit: Optional[int] = None,
     ) -> None:
         self.id = cursor_id
         self.sql = sql
@@ -55,6 +71,16 @@ class Cursor:
         #: stream by the service); folded into per-engine aggregates when
         #: the cursor retires.
         self.profile = profile
+        #: The session's space profile — live/peak bytes of the engine
+        #: structures this cursor pins; read by the admission watermark
+        #: and folded like ``profile`` at retirement.
+        self.memory = memory
+        #: Planner-feedback metadata: the statement's template digest and
+        #: the planner's output-cardinality estimate (AGM bound), matched
+        #: against actual rows at retirement when the stream ran dry.
+        self.template = template
+        self.estimate = estimate
+        self.limit = limit
         self.created = time.monotonic()
         self.last_used = self.created
 
@@ -72,7 +98,7 @@ class Cursor:
     def describe(self) -> dict:
         """Cursor metadata for the ``stats`` endpoint."""
         now = time.monotonic()
-        return {
+        out = {
             "cursor": self.id,
             "sql": self.sql,
             "engine": self.engine,
@@ -80,6 +106,10 @@ class Cursor:
             "age_s": round(now - self.created, 3),
             "idle_s": round(now - self.last_used, 3),
         }
+        if self.memory is not None:
+            out["live_bytes"] = self.memory.live_bytes
+            out["peak_bytes"] = self.memory.peak_bytes
+        return out
 
 
 class CursorManager:
@@ -141,6 +171,10 @@ class CursorManager:
         stream: PausableStream,
         counters: Counters,
         profile: Optional["DelayProfile"] = None,
+        memory: Optional["MemoryProfile"] = None,
+        template: Optional[str] = None,
+        estimate: Optional[float] = None,
+        limit: Optional[int] = None,
     ) -> Cursor:
         """Register a new cursor; raises :class:`CursorLimitError` when
         full and nothing is idle enough to evict."""
@@ -157,7 +191,17 @@ class CursorManager:
                     )
                 cursor_id = f"c{next(self._ids)}"
                 cursor = Cursor(
-                    cursor_id, sql, engine, columns, stream, counters, profile
+                    cursor_id,
+                    sql,
+                    engine,
+                    columns,
+                    stream,
+                    counters,
+                    profile,
+                    memory=memory,
+                    template=template,
+                    estimate=estimate,
+                    limit=limit,
                 )
                 self._cursors[cursor_id] = cursor
                 self.opened += 1
@@ -189,6 +233,59 @@ class CursorManager:
             del self._cursors[cursor.id]
             self.evicted += 1
         return victims
+
+    def live_mem_bytes(self) -> int:
+        """Accounted live bytes across every open cursor's engine
+        structures (0 for cursors opened without a memory profile)."""
+        with self._lock:
+            return sum(
+                c.memory.live_bytes
+                for c in self._cursors.values()
+                if c.memory is not None
+            )
+
+    def evict_for_memory(
+        self, watermark_bytes: int, min_idle_s: float = 1.0
+    ) -> int:
+        """Evict oldest-idle cursors until accounted live bytes drop
+        below ``watermark_bytes``; returns how many were evicted.
+
+        Cursors idle for less than ``min_idle_s`` are protected: memory
+        pressure sheds abandoned sessions, it must not cancel a cursor a
+        client is actively paging through.  Disposal happens outside the
+        manager lock, exactly like limit-driven idle eviction.
+        """
+        victims: list[Cursor] = []
+        try:
+            with self._lock:
+                live = sum(
+                    c.memory.live_bytes
+                    for c in self._cursors.values()
+                    if c.memory is not None
+                )
+                if live < watermark_bytes:
+                    return 0
+                now = time.monotonic()
+                idle = [
+                    c
+                    for c in self._cursors.values()
+                    if now - c.last_used >= min_idle_s
+                ]
+                idle.sort(key=lambda c: c.last_used)
+                for cursor in idle:
+                    if live < watermark_bytes:
+                        break
+                    del self._cursors[cursor.id]
+                    self.evicted += 1
+                    victims.append(cursor)
+                    if cursor.memory is not None:
+                        live -= cursor.memory.live_bytes
+        finally:
+            for victim in victims:
+                victim.stream.close()
+                if self.on_evict is not None:
+                    self.on_evict(victim)
+        return len(victims)
 
     def get(self, cursor_id: str) -> Cursor:
         with self._lock:

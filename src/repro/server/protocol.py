@@ -95,6 +95,14 @@ pulling results once the deadline passes and returns the partial batch
 with ``"deadline_exceeded": true`` (the anytime property as a per-request
 latency SLO).  Rows travel as ``[row_values..., weight]``-shaped pairs in
 ``"rows": [[row, weight], ...]`` with tuples rendered as JSON arrays.
+
+``query``/``fetch`` responses additionally carry a ``mem`` object
+(``{"live_bytes": ..., "peak_bytes": ...}``) when the server runs with
+memory accounting — the cursor's accounted engine-state footprint so
+far.  A server started with ``--max-mem-mb`` refuses new queries with a
+``mem_pressure`` error once the summed live bytes of all open cursors
+exceed the watermark and evicting idle cursors cannot free enough; the
+refusal is deliberate admission control, never an ``internal`` failure.
 """
 
 from __future__ import annotations
@@ -148,6 +156,7 @@ SQL_ERROR = "sql_error"
 UNKNOWN_CURSOR = "unknown_cursor"
 UNKNOWN_TRACE = "unknown_trace"
 CURSOR_LIMIT = "cursor_limit"
+MEM_PRESSURE = "mem_pressure"
 FRAME_TOO_LARGE = "frame_too_large"
 CLIENT_TIMEOUT = "client_timeout"
 INTERNAL = "internal"

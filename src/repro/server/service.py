@@ -24,7 +24,13 @@ from repro.engine.catalog import StatsCache, database_fingerprint
 from repro.engine.executor import apply_mutation, execute
 from repro.engine.planner import plan_compiled
 from repro.obs.delay import DELAY_BOUNDS, DelayProfile
-from repro.obs.events import EventLog
+from repro.obs.events import EventLog, sql_hash
+from repro.obs.memory import (
+    MEM_BOUNDS,
+    QERROR_BOUNDS,
+    MemoryProfile,
+    q_error,
+)
 from repro.obs.registry import MetricsRegistry
 from repro.obs.slo import (
     DEFAULT_SLOS,
@@ -43,6 +49,7 @@ import repro.server.protocol as protocol
 from repro.server.cursors import (
     CursorLimitError,
     CursorManager,
+    MemoryPressureError,
     UnknownCursorError,
 )
 from repro.server.plancache import (
@@ -69,11 +76,15 @@ class BoundPlan:
     working instance is rebuilt from the request snapshot at execution
     time.  Mirrors the ``.compiled``/``.plan`` attribute shape of
     :class:`~repro.server.plancache.CachedPlan` so call sites read the
-    same either way.
+    same either way.  ``template`` is the statement's parameterized
+    template text — the cache key's stable half, reused as the label of
+    the planner Q-error histogram so every instantiation of one shape
+    lands in the same series.
     """
 
     compiled: Any
     plan: Any
+    template: Optional[str] = None
 
 
 class QueryService:
@@ -92,6 +103,17 @@ class QueryService:
         statistics cache entries while untouched relations keep theirs.
     max_cursors:
         Admission limit on concurrently open cursors.
+    max_mem_mb:
+        Server-wide memory watermark in MB (``repro-serve
+        --max-mem-mb``): once the accounted live bytes of all open
+        cursors' engine structures reach it, new queries first trigger
+        idle-cursor eviction and are then refused with a clean
+        ``mem_pressure`` error while still over — admission control
+        replacing an eventual OOM.  None (the default) disables the
+        watermark; per-cursor accounting still runs.
+    mem_evict_idle_s:
+        Minimum idle age before memory pressure may evict a cursor
+        (protects sessions a client is actively paging through).
     plan_cache_size / stats_cache_size:
         LRU capacities of the plan cache and the cached-stats catalog.
     default_batch:
@@ -126,6 +148,8 @@ class QueryService:
         self,
         db: Database,
         max_cursors: int = 64,
+        max_mem_mb: Optional[float] = None,
+        mem_evict_idle_s: float = 1.0,
         plan_cache_size: int = 128,
         stats_cache_size: int = 1024,
         default_batch: int = 100,
@@ -152,6 +176,13 @@ class QueryService:
             on_evict=self._retire,
         )
         self.default_batch = default_batch
+        #: Memory watermark in bytes (None: no admission watermark).
+        self.max_mem_bytes = (
+            None if max_mem_mb is None else int(max_mem_mb * 1024 * 1024)
+        )
+        self.mem_evict_idle_s = mem_evict_idle_s
+        self._mem_rejected = 0
+        self._mem_evicted = 0
         #: Server-wide RAM-model work, aggregated from per-cursor counters
         #: when cursors close (thread-safe merge).
         self.counters = Counters()
@@ -191,6 +222,26 @@ class QueryService:
             "In-engine wall time to the first result in ms, by engine",
             labelnames=("engine",),
         )
+        #: Per-cursor peak accounted bytes, by engine — the distribution
+        #: the ``peak_mem_mb<=`` SLO evaluates.  Observed exactly once
+        #: per retiring cursor (peaks are maxima, not sums: folding them
+        #: into a live gauge would erase the distribution).
+        self._mem_metric = self.registry.histogram(
+            "repro_mem_peak_bytes",
+            "Per-cursor peak accounted engine memory in bytes, by engine",
+            labelnames=("engine",),
+            bounds=MEM_BOUNDS,
+        )
+        #: Planner-feedback Q-error (max(est/actual, actual/est)) per
+        #: statement template, recorded when a cursor retires with its
+        #: enumeration run dry (a LIMIT-truncated stream says nothing
+        #: about the true cardinality).
+        self._qerror_metric = self.registry.histogram(
+            "repro_plan_qerror",
+            "Planner cardinality Q-error by statement template",
+            labelnames=("template",),
+            bounds=QERROR_BOUNDS,
+        )
         self._errors_metric = self.registry.counter(
             "repro_errors_total",
             "Error responses by op and error code",
@@ -200,6 +251,10 @@ class QueryService:
         #: engine name -> aggregate :class:`DelayProfile` (the ``stats``
         #: op's ``delay_profiles`` section).
         self.delay_profiles: dict[str, DelayProfile] = {}
+        #: engine name -> aggregate :class:`MemoryProfile` (the ``stats``
+        #: op's ``memory.profiles`` section); shares ``_delay_lock`` —
+        #: both fold on the same retire path.
+        self.memory_profiles: dict[str, MemoryProfile] = {}
         self.registry.add_collector(self._collect_samples)
         #: Sampled per-request JSON-lines log (None: not configured).
         self.event_log = event_log
@@ -288,7 +343,7 @@ class QueryService:
                 costed_values=values,
             )
             self.plan_cache.store(key, entry)
-            return BoundPlan(bound, routed), False
+            return BoundPlan(bound, routed, parameterized.template), False
         bound = bind_compiled(entry.compiled, values, sql)
         drift = fingerprint_drift(entry.fingerprint, fingerprint)
         if drift > RECOST_DRIFT:
@@ -306,11 +361,11 @@ class QueryService:
                 )
             entry.recost(routed, fingerprint, values)
             self.plan_cache.note_recost()
-            return BoundPlan(bound, routed), False
+            return BoundPlan(bound, routed, parameterized.template), False
         if drift == 0.0 and values == entry.costed_values:
             # Fast path: same data generation, same binding — the
             # entry's materialized working instance is exactly right.
-            return BoundPlan(bound, entry.plan), True
+            return BoundPlan(bound, entry.plan, parameterized.template), True
         # Soft hit: the routing holds, but the filtered working instance
         # was materialized for other values (or a slightly different
         # generation) — drop it so execute() rebuilds the selections
@@ -322,7 +377,7 @@ class QueryService:
             working_cq=None,
             snapshot_version=snapshot.version,
         )
-        return BoundPlan(bound, plan), True
+        return BoundPlan(bound, plan, parameterized.template), True
 
     # ------------------------------------------------------------------
     # Ops
@@ -345,6 +400,7 @@ class QueryService:
         # regime), a doomed request must not pay parse+analyze+route or
         # pollute the plan cache.  cursors.open() re-checks at the end.
         self.cursors.ensure_capacity()
+        self._ensure_memory_headroom()
         # One snapshot per request: plan and execute read the same data
         # generation even if a mutation commits mid-request, and the
         # cursor stays pinned to it for its whole lifetime.
@@ -357,6 +413,11 @@ class QueryService:
         # records TTF/TT(k)/inter-result delay as pages drain, and
         # _retire folds it into the per-engine aggregate on close/evict.
         profile = DelayProfile()
+        # ... and its own space profile: the engines' structures report
+        # entry counts into it at O(1) cost, the admission watermark sums
+        # its live bytes, and _retire folds the peak into the per-engine
+        # aggregate + histogram.
+        memory = MemoryProfile()
         stream = PausableStream(
             execute(
                 snapshot,
@@ -364,6 +425,7 @@ class QueryService:
                 entry.plan,
                 counters=session_counters,
                 profile=profile,
+                memory=memory,
             )
         )
         cursor = self.cursors.open(
@@ -373,6 +435,10 @@ class QueryService:
             stream=stream,
             counters=session_counters,
             profile=profile,
+            memory=memory,
+            template=entry.template,
+            estimate=entry.plan.estimates.agm_bound,
+            limit=entry.compiled.k,
         )
         with self._metrics_lock:
             self._queries += 1
@@ -401,6 +467,11 @@ class QueryService:
             if payload["done"]:
                 self._finish(cursor.id)
                 payload["cursor"] = None
+        # After any inline prefetch, so the peak covers it.
+        payload["mem"] = {
+            "live_bytes": memory.live_bytes,
+            "peak_bytes": memory.peak_bytes,
+        }
         payload["results_emitted"] = cursor.emitted
         return payload
 
@@ -418,6 +489,11 @@ class QueryService:
         payload.update(
             self._fetch_into(cursor, n or self.default_batch, deadline)
         )
+        if cursor.memory is not None:
+            payload["mem"] = {
+                "live_bytes": cursor.memory.live_bytes,
+                "peak_bytes": cursor.memory.peak_bytes,
+            }
         payload["emitted"] = cursor.emitted
         payload["results_emitted"] = cursor.emitted
         if payload["done"]:
@@ -464,10 +540,40 @@ class QueryService:
             return
         self._retire(cursor)
 
+    def _ensure_memory_headroom(self) -> None:
+        """Admission watermark: evict idle cursors under memory pressure,
+        refuse with :class:`MemoryPressureError` while still over.
+
+        Runs *before* planning, like :meth:`CursorManager.ensure_capacity`
+        — a doomed request must not pay for a plan or build any engine
+        state the watermark exists to bound.
+        """
+        if self.max_mem_bytes is None:
+            return
+        if self.cursors.live_mem_bytes() < self.max_mem_bytes:
+            return
+        evicted = self.cursors.evict_for_memory(
+            self.max_mem_bytes, min_idle_s=self.mem_evict_idle_s
+        )
+        if evicted:
+            with self._metrics_lock:
+                self._mem_evicted += evicted
+        live = self.cursors.live_mem_bytes()
+        if live < self.max_mem_bytes:
+            return
+        with self._metrics_lock:
+            self._mem_rejected += 1
+        raise MemoryPressureError(
+            f"server memory watermark reached ({live} accounted bytes live "
+            f">= {self.max_mem_bytes}); close or drain a cursor first"
+        )
+
     def _retire(self, cursor) -> None:
         """Fold a closing/evicted cursor's work into server aggregates."""
         self.counters.merge(cursor.counters)
         self._fold_profile(getattr(cursor, "profile", None), cursor.engine)
+        self._fold_memory(getattr(cursor, "memory", None), cursor.engine)
+        self._record_qerror(cursor)
 
     def _fold_profile(
         self, profile: Optional[DelayProfile], engine: str
@@ -485,6 +591,48 @@ class QueryService:
             aggregate.merge(profile)
         self._delay_metric.labels(engine=name).merge_histogram(profile.delay)
         self._ttf_metric.labels(engine=name).merge_histogram(profile.ttf)
+
+    def _fold_memory(
+        self, memory: Optional[MemoryProfile], engine: str
+    ) -> None:
+        """Fold one retiring cursor's space profile into the per-engine
+        aggregate and observe its peak in the byte histogram.
+
+        Unlike time, memory is not additive across cursors: the aggregate
+        keeps *maxima* of live/peak (the profile's own merge semantics),
+        and the peak *distribution* lives in ``repro_mem_peak_bytes`` —
+        one observation per retired cursor."""
+        if memory is None or not memory.touched:
+            return
+        name = memory.engine or engine
+        with self._delay_lock:
+            aggregate = self.memory_profiles.get(name)
+            if aggregate is None:
+                aggregate = self.memory_profiles[name] = MemoryProfile(name)
+            aggregate.merge(memory)
+        self._mem_metric.labels(engine=name).observe(float(memory.peak_bytes))
+
+    def _record_qerror(self, cursor) -> None:
+        """Planner feedback: Q-error of the routed plan's cardinality
+        estimate against the rows the cursor actually produced.
+
+        Recorded only when the enumeration ran dry below its LIMIT — a
+        truncated or abandoned stream says nothing about the statement's
+        true cardinality.  Labeled by the parameterized template's digest
+        so every instantiation of one shape shares a series."""
+        estimate = getattr(cursor, "estimate", None)
+        template = getattr(cursor, "template", None)
+        if estimate is None or template is None:
+            return
+        if not getattr(cursor.stream, "exhausted", False):
+            return
+        emitted = cursor.emitted
+        limit = getattr(cursor, "limit", None)
+        if limit is not None and emitted >= limit:
+            return
+        self._qerror_metric.labels(template=sql_hash(template)).observe(
+            q_error(estimate, emitted)
+        )
 
     def explain(
         self,
@@ -524,6 +672,7 @@ class QueryService:
         plan_ms = (time.perf_counter() - start) * 1000.0
         counters = Counters()
         profile = DelayProfile()
+        memory = MemoryProfile()
         with tracer.span(
             "analyze.execute", engine=entry.plan.engine
         ):
@@ -535,6 +684,7 @@ class QueryService:
                 entry.plan,
                 counters=counters,
                 profile=profile,
+                memory=memory,
             ):
                 rows += 1
             execute_ms = (time.perf_counter() - start) * 1000.0
@@ -551,11 +701,20 @@ class QueryService:
             profile=profile,
             counters=counters,
             cache={"plan_cache": "hit" if was_cached else "miss"},
+            memory=memory,
         )
         # The analyzed run is real engine work; it lands in the same
         # aggregates a drained cursor would.
         self.counters.merge(counters)
         self._fold_profile(profile, entry.plan.engine)
+        self._fold_memory(memory, entry.plan.engine)
+        # The analyzed run drained the whole stream, so the actual
+        # cardinality is known exactly — unless LIMIT truncated it.
+        k = entry.compiled.k
+        if entry.template is not None and (k is None or rows < k):
+            self._qerror_metric.labels(
+                template=sql_hash(entry.template)
+            ).observe(q_error(entry.plan.estimates.agm_bound, rows))
         return {
             "explain": render_analyze(report),
             "analyze": report,
@@ -653,6 +812,7 @@ class QueryService:
             "counters": self.counters.snapshot(),
             "op_latency_ms": self._op_latency_summary(),
             "delay_profiles": self.delay_summaries(),
+            "memory": self.memory_stats(),
             "tracer": tracer.info(),
             "event_log": (
                 self.event_log.info() if self.event_log is not None else None
@@ -689,6 +849,24 @@ class QueryService:
                 engine: profile.summary()
                 for engine, profile in self.delay_profiles.items()
             }
+
+    def memory_stats(self) -> dict:
+        """The ``stats`` op's memory section: live bytes vs watermark,
+        pressure counters, and per-engine peak profiles."""
+        with self._metrics_lock:
+            rejected, evicted = self._mem_rejected, self._mem_evicted
+        with self._delay_lock:
+            profiles = {
+                engine: profile.summary()
+                for engine, profile in self.memory_profiles.items()
+            }
+        return {
+            "live_bytes": self.cursors.live_mem_bytes(),
+            "watermark_bytes": self.max_mem_bytes,
+            "pressure_rejections": rejected,
+            "pressure_evictions": evicted,
+            "profiles": profiles,
+        }
 
     def metrics(self, format: str = "prometheus") -> dict:
         """The unified metrics registry, rendered for export."""
@@ -727,9 +905,14 @@ class QueryService:
     # SLOs
     # ------------------------------------------------------------------
     def _slo_histogram_for(self, indicator: str) -> Optional[Histogram]:
-        """The merged latency histogram behind one SLO indicator."""
-        if indicator in ("ttf", "delay"):
-            family = self._ttf_metric if indicator == "ttf" else self._delay_metric
+        """The merged histogram behind one SLO indicator (latency
+        indicators in ms; ``peak_mem`` in bytes)."""
+        if indicator in ("ttf", "delay", "peak_mem"):
+            family = {
+                "ttf": self._ttf_metric,
+                "delay": self._delay_metric,
+                "peak_mem": self._mem_metric,
+            }[indicator]
             merged: Optional[Histogram] = None
             for _labels, child in family.children():
                 clone = child.copy()
@@ -773,7 +956,20 @@ class QueryService:
                 ("repro_fetches_total", {}, self._fetches),
                 ("repro_rows_served_total", {}, self._rows_served),
                 ("repro_mutations_total", {}, self._mutations),
+                (
+                    "repro_mem_pressure_rejections_total",
+                    {},
+                    self._mem_rejected,
+                ),
+                ("repro_mem_pressure_evictions_total", {}, self._mem_evicted),
             ]
+        samples.append(
+            ("repro_mem_live_bytes", {}, self.cursors.live_mem_bytes())
+        )
+        if self.max_mem_bytes is not None:
+            samples.append(
+                ("repro_mem_watermark_bytes", {}, self.max_mem_bytes)
+            )
         samples.append(
             (
                 "repro_uptime_seconds",
@@ -954,6 +1150,13 @@ class QueryService:
         except CursorLimitError as exc:
             return protocol.error_response(
                 request_id, protocol.CURSOR_LIMIT, str(exc)
+            )
+        except MemoryPressureError as exc:
+            # A deliberate admission refusal, mapped well before the
+            # Exception -> internal catch-all: memory pressure is policy,
+            # never a server fault.
+            return protocol.error_response(
+                request_id, protocol.MEM_PRESSURE, str(exc)
             )
         except UnknownCursorError as exc:
             return protocol.error_response(

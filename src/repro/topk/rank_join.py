@@ -27,6 +27,12 @@ from typing import Callable, Iterator, Optional, Protocol
 from repro.data.database import Database
 from repro.data.relation import Relation
 from repro.joins.base import atom_relation
+from repro.obs.memory import (
+    hrjn_result_bytes,
+    hrjn_seen_bytes,
+    sorted_scan_bytes,
+    tracker_of,
+)
 from repro.query.cq import ConjunctiveQuery
 from repro.util.counters import Counters
 from repro.util.heaps import BinaryHeap
@@ -56,6 +62,11 @@ class RelationScan:
         self._cursor = 0
         self._counters = counters
         self.name = relation.name
+        space = tracker_of(counters)
+        if space is not None:
+            space.gauge("rankjoin.sorted", sorted_scan_bytes()).add(
+                len(self._sorted)
+            )
 
     def pull(self) -> Optional[tuple[tuple, float]]:
         if self._cursor >= len(self._sorted):
@@ -110,7 +121,15 @@ class HRJN:
         self._first: list[Optional[float]] = [None, None]
         self._last: list[float] = [float("-inf"), float("-inf")]
         self._done = [False, False]
-        self._buffer = BinaryHeap(counters)
+        space = tracker_of(counters)
+        if space is None:
+            self._seen_gauge = buffer_gauge = None
+        else:
+            self._seen_gauge = space.gauge("hrjn.seen", hrjn_seen_bytes())
+            buffer_gauge = space.gauge(
+                "hrjn.buffer", hrjn_result_bytes(len(self.schema))
+            )
+        self._buffer = BinaryHeap(counters, gauge=buffer_gauge)
         self._turn = 0
 
     # -- bound bookkeeping -------------------------------------------------
@@ -153,6 +172,8 @@ class HRJN:
             key = tuple(row[p] for p in self._right_key)
             self._seen_right.setdefault(key, []).append((row, weight))
             partners = self._seen_left.get(key, ())
+        if self._seen_gauge is not None:
+            self._seen_gauge.add(1)
         if self._counters is not None:
             self._counters.hash_probes += 1
         for other_row, other_weight in partners:

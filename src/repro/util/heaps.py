@@ -37,14 +37,20 @@ class BinaryHeap:
     """Binary min-heap over ``(key, tiebreak, item)`` entries.
 
     A thin wrapper around :mod:`heapq` that (a) never compares payload items,
-    only keys and an insertion-order tiebreak, and (b) counts heap operations
-    in an optional :class:`~repro.util.counters.Counters`.
+    only keys and an insertion-order tiebreak, (b) counts heap operations
+    in an optional :class:`~repro.util.counters.Counters`, and (c) reports
+    its entry count into an optional space gauge
+    (:class:`repro.obs.memory.SpaceGauge`) so the memory profiler sees the
+    queue's live/peak size without ever walking it.
     """
 
-    def __init__(self, counters: Optional[Counters] = None) -> None:
+    def __init__(
+        self, counters: Optional[Counters] = None, gauge: Any = None
+    ) -> None:
         self._heap: list[tuple[Any, int, Any]] = []
         self._tick = 0
         self._counters = counters
+        self._gauge = gauge
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -56,6 +62,8 @@ class BinaryHeap:
         """Insert ``item`` with priority ``key``."""
         if self._counters is not None:
             self._counters.heap_ops += 1
+        if self._gauge is not None:
+            self._gauge.add(1)
         heapq.heappush(self._heap, (key, self._tick, item))
         self._tick += 1
 
@@ -65,6 +73,8 @@ class BinaryHeap:
             raise IndexError("pop from empty heap")
         if self._counters is not None:
             self._counters.heap_ops += 1
+        if self._gauge is not None:
+            self._gauge.remove(1)
         key, _, item = heapq.heappop(self._heap)
         return key, item
 

@@ -20,7 +20,6 @@ Layers (each usable on its own):
   boundary;
 - :mod:`repro.util.histogram` — mergeable fixed-bucket latency
   histograms (shard-per-thread, fold at the end);
-  :mod:`repro.workload.histogram` remains as a deprecated import shim;
 - :mod:`repro.workload.metrics` — per-op latency, time-to-first/k'th
   result, throughput windows, and the SLO report (text + JSON) with
   per-spec burn-rate verdicts (:func:`~repro.workload.metrics.evaluate_slos`);

@@ -17,7 +17,6 @@ from __future__ import annotations
 import json
 import threading
 import time
-import warnings
 
 import pytest
 
@@ -690,26 +689,16 @@ def test_protocol_validates_new_ops():
         validate_request({"op": "explain", "sql": "x", "analyze": "yes"})
 
 
-def test_workload_histogram_shim_reexports_util_with_deprecation():
+def test_workload_histogram_shim_is_gone():
+    """The deprecated repro.workload.histogram shim has been removed;
+    the canonical import path is repro.util.histogram."""
     import importlib
 
     import repro.util.histogram as util_histogram
-    import repro.workload.histogram as shim
 
-    # The warning fires at import time; re-import under a catcher (the
-    # module may already be loaded by an earlier test or conftest).
-    with warnings.catch_warnings(record=True) as caught:
-        warnings.simplefilter("always")
-        shim = importlib.reload(shim)
-    assert any(
-        issubclass(w.category, DeprecationWarning)
-        and "repro.util.histogram" in str(w.message)
-        for w in caught
-    )
-    assert shim.Histogram is util_histogram.Histogram
-    assert shim.geometric_bounds is util_histogram.geometric_bounds
-    assert shim.DEFAULT_BOUNDS is util_histogram.DEFAULT_BOUNDS
-    assert isinstance(shim.Histogram(), Histogram)
+    with pytest.raises(ModuleNotFoundError):
+        importlib.import_module("repro.workload.histogram")
+    assert isinstance(util_histogram.Histogram(), Histogram)
 
 
 def test_repro_obs_cli_against_background_server(path_db, capsys):
@@ -767,3 +756,167 @@ def test_graph_query_profiles_under_rank_join():
     )
     assert report["engine"] == "rank_join"
     assert report["profile"]["results"] == report["rows"] == 15
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition-format conformance
+# ----------------------------------------------------------------------
+_METRIC_NAME_RE = __import__("re").compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = __import__("re").compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})? (\S+)$"
+)
+_LABEL_NAME_RE = __import__("re").compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+_UNESCAPE = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def _parse_label_set(text: str) -> dict:
+    """Strict walk of a ``name="value",...`` label set, honoring the
+    exposition format's exactly-three escapes (backslash, quote, \\n)."""
+    labels: dict[str, str] = {}
+    i, n = 0, len(text)
+    while i < n:
+        match = _LABEL_NAME_RE.match(text, i)
+        assert match, f"bad label name at {text[i:]!r}"
+        name = match.group(0)
+        i = match.end()
+        assert text[i] == "=", text[i:]
+        assert text[i + 1] == '"', text[i:]
+        i += 2
+        value = []
+        while True:
+            assert i < n, "unterminated label value"
+            ch = text[i]
+            if ch == "\\":
+                escaped = text[i + 1]
+                assert escaped in _UNESCAPE, f"bad escape \\{escaped!r}"
+                value.append(_UNESCAPE[escaped])
+                i += 2
+            elif ch == '"':
+                i += 1
+                break
+            else:
+                assert ch != "\n", "raw newline inside a label value"
+                value.append(ch)
+                i += 1
+        labels[name] = "".join(value)
+        if i < n:
+            assert text[i] == ",", f"expected ',' at {text[i:]!r}"
+            i += 1
+    return labels
+
+
+def parse_exposition(text: str):
+    """Strict line parser for the Prometheus text exposition format.
+
+    Returns ``(types, samples)`` where ``types`` maps metric name ->
+    declared type and ``samples`` is ``[(name, labels, value)]``.
+    Asserts the invariants scrapers rely on: every line is HELP, TYPE,
+    or a sample; names are well-formed; at most one TYPE per name and
+    it precedes the name's samples; every value parses as a float.
+    """
+    types: dict[str, str] = {}
+    samples: list[tuple[str, dict, float]] = []
+    assert text.endswith("\n"), "exposition must end with a newline"
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            assert len(parts) == 4 and _METRIC_NAME_RE.match(parts[2]), line
+        elif line.startswith("# TYPE "):
+            parts = line.split(" ")
+            assert len(parts) == 4, line
+            name, kind = parts[2], parts[3]
+            assert _METRIC_NAME_RE.match(name), line
+            assert kind in ("counter", "gauge", "histogram"), line
+            assert name not in types, f"duplicate TYPE for {name}"
+            types[name] = kind
+        else:
+            assert not line.startswith("#"), f"unknown comment: {line!r}"
+            match = _SAMPLE_RE.match(line)
+            assert match, f"unparseable sample line: {line!r}"
+            name, label_text, value = match.groups()
+            labels = _parse_label_set(label_text) if label_text else {}
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                stripped = name[: -len(suffix)] if name.endswith(suffix) else None
+                if stripped and stripped in types:
+                    base = stripped
+            assert base in types, f"sample before TYPE: {name}"
+            samples.append((name, labels, float(value)))
+    return types, samples
+
+
+def test_prometheus_exposition_conformance(path_db):
+    """The full live exposition of a served workload parses under the
+    strict grammar, and histogram series satisfy the cumulative-bucket
+    contract (+Inf bucket == _count, counts non-decreasing in le)."""
+    service = QueryService(path_db, max_mem_mb=64.0)
+    opened = service.query(PATH_SQL.format(k=40), fetch=40)
+    if opened["cursor"] is not None:
+        service.close(opened["cursor"])
+    service.handle({"id": 1, "op": "query", "sql": "SELECT nope"})  # an error
+    text = service.metrics()["metrics"]
+    types, samples = parse_exposition(text)
+    service.shutdown()
+
+    assert types["repro_op_latency_ms"] == "histogram"
+    assert types["repro_mem_peak_bytes"] == "histogram"
+    assert types["repro_plan_qerror"] == "histogram"
+    assert types["repro_errors_total"] == "counter"
+
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets: dict[tuple, list[tuple[float, float]]] = {}
+        counts: dict[tuple, float] = {}
+        sums: dict[tuple, float] = {}
+        for name, labels, value in samples:
+            series = tuple(
+                sorted((k, v) for k, v in labels.items() if k != "le")
+            )
+            if name == f"{family}_bucket":
+                buckets.setdefault(series, []).append(
+                    (float(labels["le"]), value)
+                )
+            elif name == f"{family}_count":
+                counts[series] = value
+            elif name == f"{family}_sum":
+                sums[series] = value
+        for series, entries in buckets.items():
+            entries.sort(key=lambda pair: pair[0])
+            assert entries[-1][0] == float("inf"), series
+            cumulative = [count for _, count in entries]
+            assert cumulative == sorted(cumulative), (family, series)
+            assert cumulative[-1] == counts[series], (family, series)
+            assert series in sums, (family, series)
+
+
+def test_escape_label_pins_prometheus_escaping():
+    from repro.obs.registry import _escape_label
+
+    assert _escape_label("plain") == "plain"
+    assert _escape_label('say "hi"') == 'say \\"hi\\"'
+    assert _escape_label("back\\slash") == "back\\\\slash"
+    assert _escape_label("two\nlines") == "two\\nlines"
+    # Backslashes escape first, so a pre-escaped quote stays parseable
+    # instead of collapsing into a bare escape.
+    assert _escape_label('\\"') == '\\\\\\"'
+
+
+def test_registry_renders_hostile_label_values_parseably():
+    """Label values containing quotes, backslashes, and newlines render
+    to lines the strict parser recovers verbatim."""
+    registry = MetricsRegistry()
+    counter = registry.counter(
+        "hostile_total", "hostile label values", labelnames=("sql",)
+    )
+    hostile = 'SELECT "x\\y"\nFROM "t"'
+    counter.labels(sql=hostile).inc(3)
+    counter.labels(sql="plain").inc(1)
+    types, samples = parse_exposition(registry.render_prometheus())
+    assert types["hostile_total"] == "counter"
+    recovered = {
+        labels["sql"]: value
+        for name, labels, value in samples
+        if name == "hostile_total"
+    }
+    assert recovered == {hostile: 3.0, "plain": 1.0}

@@ -1,0 +1,514 @@
+"""The space-accounting layer: calibrated byte models, live/peak
+profiles, memory-aware admission, and planner Q-error feedback.
+
+Three properties anchor the suite (the issue's acceptance criteria):
+
+- *O(1) accounting* — the gauges never walk structures; engine runs
+  under a profile report per-category entry counts that match the
+  structures' own bookkeeping;
+- *clean refusal* — a server over its ``--max-mem-mb`` watermark
+  answers new queries with ``mem_pressure``, never ``internal``, and
+  sheds idle cursors before refusing;
+- *feedback closes the loop* — drained cursors land a Q-error
+  observation per statement template; truncated ones don't.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro.sql
+from repro.anyk.api import rank_enumerate
+from repro.data.generators import path_database
+from repro.engine.executor import execute
+from repro.engine.planner import plan_compiled
+from repro.obs.memory import (
+    MEM_BOUNDS,
+    QERROR_BOUNDS,
+    MemoryProfile,
+    SpaceGauge,
+    attach_tracker,
+    batch_sort_bytes,
+    columnar_row_bytes,
+    hrjn_result_bytes,
+    hrjn_seen_bytes,
+    join_build_entry_bytes,
+    pq_entry_bytes,
+    q_error,
+    rec_entry_bytes,
+    rec_solution_bytes,
+    row_bytes,
+    sorted_scan_bytes,
+    tdp_bucket_bytes,
+    tdp_tuple_bytes,
+    tracker_of,
+)
+from repro.obs.slo import SloError, parse_slo, spec_counts
+from repro.server import QueryService
+from repro.util.counters import Counters
+from repro.util.histogram import Histogram
+
+PATH_SQL = (
+    "SELECT * FROM R1 JOIN R2 ON R1.A2 = R2.A2 JOIN R3 ON R2.A3 = R3.A3 "
+    "ORDER BY weight LIMIT {k}"
+)
+
+
+@pytest.fixture(scope="module")
+def path_db():
+    return path_database(length=3, size=120, domain=18, seed=23)
+
+
+def profiled_counters(profile: MemoryProfile) -> Counters:
+    counters = Counters()
+    attach_tracker(counters, profile)
+    return counters
+
+
+# ----------------------------------------------------------------------
+# Byte models and Q-error
+# ----------------------------------------------------------------------
+def test_byte_models_are_positive_ints():
+    models = [
+        pq_entry_bytes(3),
+        rec_entry_bytes(2),
+        rec_solution_bytes(2),
+        tdp_tuple_bytes(),
+        tdp_bucket_bytes(),
+        hrjn_seen_bytes(),
+        hrjn_result_bytes(4),
+        sorted_scan_bytes(),
+        row_bytes(4),
+        join_build_entry_bytes(),
+        columnar_row_bytes(4),
+        batch_sort_bytes(),
+    ]
+    assert all(isinstance(m, int) and m > 0 for m in models)
+    # Wider structures cost more.
+    assert pq_entry_bytes(6) > pq_entry_bytes(2)
+    assert columnar_row_bytes(8) > columnar_row_bytes(2)
+
+
+def test_bucket_bounds_shapes():
+    assert MEM_BOUNDS[0] == 1024.0
+    assert list(MEM_BOUNDS) == sorted(MEM_BOUNDS)
+    assert QERROR_BOUNDS[0] == 1.0  # the exact-estimate bucket
+    assert QERROR_BOUNDS[-1] >= 1e6
+
+
+def test_q_error_convention():
+    assert q_error(10, 10) == 1.0
+    assert q_error(100, 10) == 10.0
+    assert q_error(10, 100) == 10.0
+    # Both sides floored at one row: no division by zero, empty results
+    # against tiny estimates compare as exact.
+    assert q_error(0, 0) == 1.0
+    assert q_error(0.25, 0) == 1.0
+    assert q_error(0, 500) == 500.0
+
+
+# ----------------------------------------------------------------------
+# Gauges and profiles
+# ----------------------------------------------------------------------
+def test_space_gauge_tracks_live_and_peak():
+    profile = MemoryProfile("part:lazy")
+    gauge = profile.gauge("part.pq", 100)
+    assert isinstance(gauge, SpaceGauge)
+    gauge.add(3)
+    gauge.remove(2)
+    gauge.add(1)
+    assert gauge.entries == 2
+    assert gauge.peak_entries == 3
+    assert gauge.live_bytes == 200
+    assert gauge.peak_bytes == 300
+    assert profile.live_bytes == 200
+    assert profile.peak_bytes == 300
+    # The same category returns the same gauge (shared per execution).
+    assert profile.gauge("part.pq", 100) is gauge
+
+
+def test_profile_peak_is_concurrent_across_gauges():
+    profile = MemoryProfile()
+    a = profile.gauge("a", 10)
+    b = profile.gauge("b", 10)
+    a.add(5)  # live 50
+    b.add(5)  # live 100  <- the true high-water mark
+    a.remove(5)
+    b.remove(5)
+    assert profile.live_bytes == 0
+    assert profile.peak_bytes == 100  # not max(50, 50)
+
+
+def test_profile_merge_takes_maxima_and_sums_streams():
+    left = MemoryProfile("rec")
+    left.streams = 1
+    left.gauge("rec.pq", 10).add(4)
+    right = MemoryProfile("rec")
+    right.streams = 2
+    right.gauge("rec.pq", 10).add(9)
+    right.gauge("rec.pq", 10).remove(9)
+    right.shards.append({"shard": 0, "peak_bytes": 7})
+    left.merge(right)
+    assert left.streams == 3
+    assert left.peak_bytes == max(40, 90)  # maxima, not 130
+    assert left.gauge("rec.pq", 10).peak_entries == 9
+    assert left.shards == [{"shard": 0, "peak_bytes": 7}]
+
+
+def test_profile_snapshot_roundtrip():
+    profile = MemoryProfile("batch")
+    profile.streams = 1
+    profile.gauge("columnar.rows", 48).add(10)
+    profile.gauge("batch.sort", 56).add(10)
+    snapshot = profile.snapshot()
+    rebuilt = MemoryProfile().merge_snapshot(snapshot)
+    assert rebuilt.engine == "batch"
+    assert rebuilt.peak_bytes == profile.peak_bytes
+    assert rebuilt.snapshot()["categories"] == snapshot["categories"]
+    summary = rebuilt.summary()
+    assert summary["peak_mb"] == round(profile.peak_bytes / 1048576, 3)
+    assert set(summary["categories"]) == {"columnar.rows", "batch.sort"}
+
+
+def test_tracker_rides_counters_invisibly():
+    profile = MemoryProfile()
+    counters = profiled_counters(profile)
+    assert tracker_of(counters) is profile
+    assert tracker_of(None) is None
+    assert tracker_of(Counters()) is None
+    # The dynamic attribute is invisible to the dataclass machinery.
+    assert "space" not in counters.snapshot()
+    merged = Counters()
+    merged.merge(counters)
+    assert tracker_of(merged) is None
+
+
+# ----------------------------------------------------------------------
+# Engine accounting (every instrumented structure reports)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "method, expected",
+    [
+        ("part:lazy", {"tdp.tuples", "tdp.buckets", "part.pq"}),
+        ("rec", {"tdp.tuples", "tdp.buckets", "rec.pq", "rec.solutions"}),
+        (
+            "batch",
+            {"join.build", "join.rows", "columnar.rows", "batch.sort"},
+        ),
+    ],
+)
+def test_engine_categories_report(path_db, method, expected):
+    from repro.query.cq import path_query
+
+    profile = MemoryProfile(method)
+    counters = profiled_counters(profile)
+    results = list(
+        rank_enumerate(
+            path_db, path_query(3), method=method, k=60, counters=counters
+        )
+    )
+    assert len(results) == 60
+    assert expected <= set(profile.categories())
+    assert profile.peak_bytes > 0
+    for category, gauge in profile.categories().items():
+        assert gauge.peak_entries > 0, category
+
+
+def test_rank_join_categories_report(path_db):
+    from repro.query.cq import path_query
+    from repro.topk.rank_join import rank_join_topk
+
+    profile = MemoryProfile("rank_join")
+    counters = profiled_counters(profile)
+    results = rank_join_topk(path_db, path_query(3), k=60, counters=counters)
+    assert len(results) == 60
+    assert {"rankjoin.sorted", "hrjn.seen", "hrjn.buffer"} <= set(
+        profile.categories()
+    )
+    assert profile.peak_bytes > 0
+
+
+def test_accounting_is_silent_without_tracker(path_db):
+    """No profile attached: engines run exactly as before (no gauges,
+    no dynamic attributes) — the zero-cost default."""
+    from repro.query.cq import path_query
+
+    counters = Counters()
+    results = list(
+        rank_enumerate(
+            path_db, path_query(3), method="part:lazy", k=30,
+            counters=counters,
+        )
+    )
+    assert len(results) == 30
+    assert tracker_of(counters) is None
+
+
+def test_part_vs_rec_peak_separation(path_db):
+    """The paper's space separation: REC memoizes every solution prefix
+    per bucket, PART keeps only frontier candidates — REC's accounted
+    peak must dominate PART's on the same enumeration."""
+    from repro.query.cq import path_query
+
+    peaks = {}
+    for method in ("part:lazy", "rec"):
+        profile = MemoryProfile(method)
+        counters = profiled_counters(profile)
+        list(
+            rank_enumerate(
+                path_db, path_query(3), method=method, k=500,
+                counters=counters,
+            )
+        )
+        peaks[method] = profile.peak_bytes
+    assert peaks["rec"] > peaks["part:lazy"]
+
+
+def test_executor_threads_memory_through(path_db):
+    sql = PATH_SQL.format(k=40)
+    compiled = repro.sql.analyze(path_db, sql)
+    plan = plan_compiled(path_db, compiled)
+    memory = MemoryProfile()
+    rows = list(
+        execute(path_db, compiled, plan, memory=memory)
+    )
+    assert len(rows) == 40
+    assert memory.engine == plan.engine
+    assert memory.streams == 1
+    assert memory.touched and memory.peak_bytes > 0
+
+
+def test_parallel_workers_ship_shard_snapshots():
+    from repro.parallel import parallel_rank_enumerate
+    from repro.query.cq import path_query
+
+    db = path_database(length=2, size=60, domain=12, seed=5)
+    memory = MemoryProfile()
+    # k past the full join size: the merge drains every shard stream to
+    # its done frame, so both snapshots land deterministically (a top-k
+    # cutoff may race a worker's done frame when tracing is off).
+    results = list(
+        parallel_rank_enumerate(
+            db, path_query(2), workers=2, k=100_000, memory=memory
+        )
+    )
+    assert len(results) >= 50
+    # Worker bytes live in worker processes: attribution arrives via the
+    # done frames, deliberately excluded from the parent's own totals.
+    shards = {shard["shard"] for shard in memory.shards}
+    assert shards == {0, 1}
+    assert all(shard["peak_bytes"] > 0 for shard in memory.shards)
+
+
+# ----------------------------------------------------------------------
+# Service integration: payloads, admission, eviction, Q-error
+# ----------------------------------------------------------------------
+def drain(service, cursor_id, n=500):
+    while True:
+        page = service.fetch(cursor_id, n=n)
+        if page["done"]:
+            return page
+
+
+def test_query_and_fetch_carry_mem_payload(path_db):
+    service = QueryService(path_db)
+    opened = service.query(PATH_SQL.format(k=200), fetch=10)
+    assert opened["mem"]["peak_bytes"] > 0
+    assert opened["mem"]["live_bytes"] > 0
+    page = service.fetch(opened["cursor"], n=10)
+    assert page["mem"]["peak_bytes"] >= opened["mem"]["peak_bytes"]
+    described = service.cursors.stats()["cursors"][0]
+    assert described["peak_bytes"] == page["mem"]["peak_bytes"]
+    service.shutdown()
+
+
+def test_memory_pressure_refuses_with_clean_code(path_db):
+    """Fresh cursors are idle-protected, so a tiny watermark with a long
+    grace refuses the second query — as mem_pressure, never internal."""
+    service = QueryService(path_db, max_mem_mb=0.001, mem_evict_idle_s=60.0)
+    sql = PATH_SQL.format(k=500)
+    first = service.handle({"id": 1, "op": "query", "sql": sql, "fetch": 5})
+    assert first["ok"]
+    second = service.handle({"id": 2, "op": "query", "sql": sql, "fetch": 5})
+    assert not second["ok"]
+    assert second["error"]["code"] == "mem_pressure"
+    assert "watermark" in second["error"]["message"]
+    assert service.memory_stats()["pressure_rejections"] == 1
+    # The refused request never opened a cursor.
+    assert len(service.cursors) == 1
+    service.shutdown()
+
+
+def test_memory_pressure_evicts_idle_cursors_first(path_db):
+    service = QueryService(path_db, max_mem_mb=0.001, mem_evict_idle_s=0.01)
+    sql = PATH_SQL.format(k=500)
+    first = service.query(sql, fetch=5)
+    time.sleep(0.05)  # age the cursor past the eviction grace
+    second = service.query(sql, fetch=5)
+    assert second["cursor"] is not None
+    stats = service.memory_stats()
+    assert stats["pressure_evictions"] >= 1
+    assert stats["pressure_rejections"] == 0
+    # The evicted session is gone; fetching it is unknown_cursor.
+    response = service.handle(
+        {"id": 3, "op": "fetch", "cursor": first["cursor"]}
+    )
+    assert not response["ok"]
+    assert response["error"]["code"] == "unknown_cursor"
+    service.shutdown()
+
+
+def test_retired_cursor_feeds_peak_histogram_and_aggregate(path_db):
+    service = QueryService(path_db)
+    opened = service.query(PATH_SQL.format(k=120), fetch=0)
+    drain(service, opened["cursor"])
+    memory = service.memory_stats()
+    assert opened["engine"] in memory["profiles"]
+    assert memory["profiles"][opened["engine"]]["peak_bytes"] > 0
+    children = dict(
+        (labels["engine"], child)
+        for labels, child in service._mem_metric.children()
+    )
+    assert children[opened["engine"]].summary()["count"] == 1
+    service.shutdown()
+
+
+def test_qerror_recorded_only_when_stream_ran_dry(path_db):
+    service = QueryService(path_db)
+    # Truncated at LIMIT: the actual cardinality is unknown — no sample.
+    opened = service.query(PATH_SQL.format(k=10), fetch=0)
+    drain(service, opened["cursor"])
+    assert not list(service._qerror_metric.children())
+    # LIMIT far above the join size: the stream runs dry — one sample.
+    opened = service.query(PATH_SQL.format(k=10_000_000), fetch=0)
+    drain(service, opened["cursor"])
+    children = list(service._qerror_metric.children())
+    assert len(children) == 1
+    labels, child = children[0]
+    assert len(labels["template"]) == 16  # the template digest
+    assert child.summary()["count"] == 1
+    service.shutdown()
+
+
+def test_memory_metric_families_export(path_db):
+    service = QueryService(path_db, max_mem_mb=64.0)
+    opened = service.query(PATH_SQL.format(k=60), fetch=0)
+    drain(service, opened["cursor"])
+    text = service.metrics()["metrics"]
+    assert "# TYPE repro_mem_peak_bytes histogram" in text
+    assert 'repro_mem_peak_bytes_count{engine="' in text
+    assert "repro_mem_live_bytes 0" in text
+    assert f"repro_mem_watermark_bytes {64 * 1024 * 1024}" in text
+    assert "repro_mem_pressure_rejections_total 0" in text
+    assert "repro_mem_pressure_evictions_total 0" in text
+    service.shutdown()
+
+
+# ----------------------------------------------------------------------
+# SLO grammar: peak_mem_mb<=
+# ----------------------------------------------------------------------
+def test_peak_mem_slo_spec_parses():
+    spec = parse_slo("peak_mem_mb<=64")
+    assert spec.kind == "memory"
+    assert spec.indicator == "peak_mem"
+    assert spec.percentile == 99.0
+    assert spec.threshold_ms == 64.0  # MB in the spec-unit slot
+    assert "64 MB" in spec.objective()
+    spec = parse_slo("peak_mem_p95_mb<=1.5")
+    assert spec.percentile == 95.0
+
+
+@pytest.mark.parametrize(
+    "raw",
+    ["peak_mem_mb>=64", "peak_mem_mb<=64%", "peak_mem_mb<=0",
+     "peak_mem_p200_mb<=64"],
+)
+def test_peak_mem_slo_spec_rejects(raw):
+    with pytest.raises(SloError):
+        parse_slo(raw)
+
+
+def test_peak_mem_spec_counts_converts_mb_to_bytes():
+    hist = Histogram(bounds=MEM_BOUNDS)
+    hist.record(512 * 1024)        # half a MB: good
+    hist.record(10 * 1024 * 1024)  # ten MB: bad under a 1 MB objective
+    spec = parse_slo("peak_mem_mb<=1")
+    total, bad = spec_counts(spec, lambda name: hist, lambda: (0, 0))
+    assert total == 2
+    assert bad == 1
+
+
+def test_service_evaluates_peak_mem_slo(path_db):
+    service = QueryService(path_db, slos=["peak_mem_mb<=4096"])
+    opened = service.query(PATH_SQL.format(k=60), fetch=0)
+    drain(service, opened["cursor"])
+    report = service.slo()
+    assert report["specs"] == ["peak_mem_mb<=4096"]
+    slo = report["slos"][0]
+    assert slo["objective"].endswith("4096 MB")
+    assert slo["status"] == "ok"
+    service.shutdown()
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN ANALYZE + CLI surfaces
+# ----------------------------------------------------------------------
+def test_run_analyze_reports_memory_and_estimates(path_db):
+    from repro.obs import run_analyze
+    from repro.obs.analyze import render_analyze
+
+    report = run_analyze(path_db, PATH_SQL.format(k=50))
+    assert report["memory"]["peak_bytes"] > 0
+    assert report["memory"]["categories"]
+    estimates = report["estimates"]
+    assert estimates["actual_rows"] == 50
+    assert estimates["truncated"] is True
+    assert estimates["qerror"] >= 1.0
+    rendered = render_analyze(report)
+    assert "memory:" in rendered
+    assert "estimate:" in rendered
+    assert "LIMIT-truncated" in rendered
+
+
+def test_explain_analyze_op_carries_memory(path_db):
+    service = QueryService(path_db)
+    response = service.handle(
+        {
+            "id": 1,
+            "op": "explain",
+            "sql": PATH_SQL.format(k=30),
+            "analyze": True,
+        }
+    )
+    assert response["ok"]
+    assert response["analyze"]["memory"]["peak_bytes"] > 0
+    assert response["analyze"]["estimates"]["actual_rows"] == 30
+    # The analyzed run folds into the same aggregates a cursor would.
+    assert service.memory_stats()["profiles"]
+    service.shutdown()
+
+
+def test_stats_and_summary_render_memory(path_db):
+    from repro.obs.cli import render_summary
+
+    service = QueryService(path_db, max_mem_mb=32.0)
+    opened = service.query(PATH_SQL.format(k=40), fetch=0)
+    drain(service, opened["cursor"])
+    stats = service.stats()
+    assert stats["memory"]["watermark_bytes"] == 32 * 1024 * 1024
+    text = render_summary(stats)
+    assert "memory live=" in text
+    assert "watermark=32 MB" in text
+    assert "peak memory (accounted, per engine):" in text
+    service.shutdown()
+
+
+def test_obs_cli_watch_guards():
+    from repro.obs.cli import main as obs_main
+
+    # --watch applies to the summary and --metrics views only, and needs
+    # a positive period; both are caught before any connection attempt.
+    assert obs_main(["--watch", "2", "--traces"]) == 2
+    assert obs_main(["--watch", "0", "--metrics"]) == 2
